@@ -1,0 +1,15 @@
+"""E1 — Theorem 3.1: Bounded-UFP approximation ratio vs the fractional optimum.
+
+Regenerates the E1 table (eps/B sweep on random large-capacity workloads) and
+checks the ``(1 + 6 eps) e/(e-1)`` guarantee, feasibility, exactness and the
+iteration bound.
+"""
+
+from conftest import run_and_report
+
+
+def test_e1_bounded_ufp_approximation(benchmark):
+    result = run_and_report(benchmark, "E1")
+    # Every cell's measured ratio stays within the paper guarantee whenever
+    # the capacity assumption holds.
+    assert all(row["within_guarantee"] for row in result.rows)

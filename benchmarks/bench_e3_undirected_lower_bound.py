@@ -1,0 +1,14 @@
+"""E3 — Figure 3 / Theorem 3.12: the undirected 4/3 lower bound.
+
+Regenerates the 7-vertex ring sweep: for every capacity B the adversarial
+schedule caps reasonable path minimizers at 3B out of the optimal 4B.
+"""
+
+import pytest
+
+from conftest import run_and_report
+
+
+def test_e3_undirected_ring_lower_bound(benchmark):
+    result = run_and_report(benchmark, "E3")
+    assert all(row["measured_ratio"] == pytest.approx(4.0 / 3.0) for row in result.rows)

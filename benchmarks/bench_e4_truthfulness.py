@@ -1,0 +1,16 @@
+"""E4 — Theorem 2.3 / Lemma 3.4: monotonicity, exactness and truthfulness.
+
+Regenerates the audit table: Bounded-UFP passes the monotonicity, exactness
+and truthfulness audits; randomized LP rounding fails monotonicity, which is
+the paper's motivation for a deterministic primal-dual mechanism.
+"""
+
+from conftest import run_and_report
+
+
+def test_e4_truthfulness_audits(benchmark):
+    result = run_and_report(benchmark, "E4")
+    by_check = {(row["algorithm"], row["check"]): row for row in result.rows}
+    assert by_check[("Bounded-UFP", "monotonicity (Def. 2.1)")]["passes"]
+    assert by_check[("Bounded-UFP + critical payments", "truthfulness (Thm. 2.3)")]["passes"]
+    assert not by_check[("RandomizedRounding", "monotonicity (Def. 2.1)")]["passes"]

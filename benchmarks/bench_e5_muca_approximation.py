@@ -1,0 +1,8 @@
+"""E5 — Theorem 4.1: Bounded-MUCA approximation ratio vs the fractional optimum."""
+
+from conftest import run_and_report
+
+
+def test_e5_bounded_muca_approximation(benchmark):
+    result = run_and_report(benchmark, "E5")
+    assert all(row["within_guarantee"] for row in result.rows)

@@ -1,0 +1,15 @@
+"""E6 — Figure 4 / Theorem 4.5: the 4/3 multi-unit auction lower bound.
+
+Regenerates the partition-family sweep: the measured ratio equals
+``4p / (3p + 1)`` exactly and climbs towards 4/3 as p grows.
+"""
+
+import pytest
+
+from conftest import run_and_report
+
+
+def test_e6_partition_lower_bound(benchmark):
+    result = run_and_report(benchmark, "E6")
+    for row in result.rows:
+        assert row["measured_ratio"] == pytest.approx(4.0 * row["p"] / (3.0 * row["p"] + 1.0))

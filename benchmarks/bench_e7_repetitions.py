@@ -1,0 +1,8 @@
+"""E7 — Theorem 5.1: unsplittable flow with repetitions is (1+eps)-approximable."""
+
+from conftest import run_and_report
+
+
+def test_e7_repetitions(benchmark):
+    result = run_and_report(benchmark, "E7")
+    assert all(row["measured_ratio"] <= row["paper_guarantee"] + 1e-9 for row in result.rows)

@@ -1,0 +1,14 @@
+"""E8 — Section 1.1 comparison: Bounded-UFP vs baselines across workloads."""
+
+from conftest import run_and_report
+
+
+def test_e8_algorithm_comparison(benchmark):
+    result = run_and_report(benchmark, "E8")
+    # Bounded-UFP never loses to the BKV-style baseline on any workload.
+    by_workload: dict[str, dict[str, float]] = {}
+    for row in result.rows:
+        by_workload.setdefault(row["workload"], {})[row["algorithm"]] = row["value"]
+    for values in by_workload.values():
+        if "Bounded-UFP" in values and "BKV-style (e-approx)" in values:
+            assert values["Bounded-UFP"] >= values["BKV-style (e-approx)"] - 1e-9

@@ -1,0 +1,10 @@
+"""E9 — running-time scaling of Bounded-UFP and Bounded-UFP-Repeat."""
+
+from conftest import run_and_report
+
+
+def test_e9_running_time_scaling(benchmark):
+    result = run_and_report(benchmark, "E9")
+    for row in result.rows:
+        if row["algorithm"] == "Bounded-UFP":
+            assert row["iterations"] <= row["requests"]

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the hot primitives underneath the experiments.
+
+These are not tied to a paper artifact; they document the cost of the
+building blocks (Dijkstra pricing, one Bounded-UFP run, the fractional LP,
+the Garg–Könemann FPTAS, critical-value payment computation) so regressions
+in the substrates are visible independently of the experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import bounded_muca, bounded_ufp
+from repro.flows import random_instance
+from repro.auctions import random_auction
+from repro.fractional import garg_konemann_fractional_ufp
+from repro.graphs import random_digraph, single_source_dijkstra
+from repro.lp import solve_fractional_ufp
+from repro.mechanism import compute_ufp_payments
+
+
+@pytest.fixture(scope="module")
+def medium_instance():
+    return random_instance(
+        num_vertices=20, edge_probability=0.2, capacity=50.0,
+        num_requests=80, demand_range=(0.3, 1.0), seed=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def medium_auction():
+    return random_auction(
+        num_items=30, num_bids=200, multiplicity=40.0, bundle_size_range=(1, 5), seed=13
+    )
+
+
+def test_bench_dijkstra_pricing(benchmark):
+    """One shortest-path tree on a 300-vertex random digraph."""
+    graph = random_digraph(300, 0.03, 10.0, seed=5)
+    rng = np.random.default_rng(5)
+    weights = rng.uniform(0.01, 1.0, size=graph.num_edges)
+    result = benchmark(lambda: single_source_dijkstra(graph, 0, weights))
+    assert result.distance(0) == 0.0
+
+
+def test_bench_bounded_ufp_medium(benchmark, medium_instance):
+    """A full Bounded-UFP run on an 80-request instance."""
+    allocation = benchmark(lambda: bounded_ufp(medium_instance, 0.3))
+    assert allocation.is_feasible()
+
+
+def test_bench_bounded_muca_medium(benchmark, medium_auction):
+    """A full Bounded-MUCA run on a 200-bid auction."""
+    allocation = benchmark(lambda: bounded_muca(medium_auction, 0.3))
+    assert allocation.is_feasible()
+
+
+def test_bench_fractional_lp(benchmark, medium_instance):
+    """The edge-flow LP relaxation of the 80-request instance."""
+    result = benchmark.pedantic(
+        lambda: solve_fractional_ufp(medium_instance), rounds=1, iterations=1
+    )
+    assert result.ok
+
+
+def test_bench_garg_konemann(benchmark, medium_instance):
+    """The combinatorial FPTAS on the same instance (eps = 0.2)."""
+    result = benchmark.pedantic(
+        lambda: garg_konemann_fractional_ufp(medium_instance, 0.2),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.objective > 0.0
+
+
+def test_bench_critical_value_payments(benchmark):
+    """Critical-value payments for the winners of a 15-request instance."""
+    instance = random_instance(
+        num_vertices=8, edge_probability=0.4, capacity=10.0,
+        num_requests=15, demand_range=(0.4, 1.0), seed=3,
+    )
+
+    def run():
+        allocation = bounded_ufp(instance, 0.4)
+        return compute_ufp_payments(
+            lambda declared: bounded_ufp(declared, 0.4), instance, allocation
+        )
+
+    payments = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.all(payments >= 0.0)

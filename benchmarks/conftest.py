@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_e*.py`` module regenerates one experiment of DESIGN.md's
+per-experiment index (the paper's theorems / figures) under
+``pytest-benchmark`` timing, asserts that the experiment's claims hold, and
+prints the experiment table so a benchmark run doubles as a reproduction
+run.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment dependent
+    try:
+        import repro  # noqa: F401
+    except ModuleNotFoundError:
+        sys.path.insert(0, str(_SRC))
+
+
+def run_and_report(benchmark, experiment_id: str, *, quick: bool = True, seed: int | None = 7):
+    """Benchmark one experiment run, assert its claims, and print its table."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, quick=quick, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.summary())
+    failed = result.claims_failed()
+    assert not failed, f"{experiment_id} claims failed: {failed}"
+    return result

@@ -1,0 +1,81 @@
+"""Unsplittable flow with repetitions: batch throughput maximization.
+
+Section 5 of the paper: when a request may be satisfied repeatedly (think of
+a content provider shipping as many replicas of a transfer as the network
+will carry, earning per delivered copy), the same primal-dual machinery is a
+``(1 + eps)``-approximation — the e/(e-1) barrier of the single-shot problem
+disappears.
+
+The example runs ``Bounded-UFP-Repeat`` on a replication workload, compares
+it with the single-shot ``Bounded-UFP`` and with the fractional optima of
+both formulations (Figures 1 and 5), and shows how often each transfer was
+replicated.
+
+Run with::
+
+    python examples/repetitions_throughput.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import bounded_ufp, bounded_ufp_repeat, flows, lp
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    epsilon = 0.3
+    instance = flows.random_instance(
+        num_vertices=10,
+        edge_probability=0.35,
+        capacity=60.0,
+        num_requests=14,
+        demand_range=(0.4, 1.0),
+        value_range=(0.5, 2.0),
+        seed=31,
+        name="replication",
+    )
+    print(f"instance: {instance!r}, B = {instance.capacity_bound():.1f}")
+
+    single_shot = bounded_ufp(instance, epsilon)
+    repeated = bounded_ufp_repeat(instance, epsilon)
+    repeated.validate(allow_repetitions=True)
+
+    lp_single = lp.solve_fractional_ufp(instance)
+    lp_repeat = lp.solve_fractional_ufp(instance, repetitions=True)
+
+    table = Table(columns=["formulation", "algorithm value", "fractional optimum", "ratio"],
+                  title="single-shot vs repetitions")
+    table.add_row(["single-shot (Figure 1)", single_shot.value, lp_single.objective,
+                   lp_single.objective / max(single_shot.value, 1e-12)])
+    table.add_row(["with repetitions (Figure 5)", repeated.value, lp_repeat.objective,
+                   lp_repeat.objective / max(repeated.value, 1e-12)])
+    print()
+    print(table.render())
+    print(f"\npaper guarantee with repetitions: 1 + 6*eps = {1 + 6 * epsilon:.2f} "
+          f"(Theorem 5.1); note how much closer to 1 the measured ratio is than the "
+          f"single-shot one can be in the worst case.")
+
+    copies = Counter(item.request_index for item in repeated.routed)
+    table = Table(columns=["transfer", "route hops", "demand", "value per copy",
+                           "copies shipped", "total value"],
+                  title="\nreplication profile (top transfers)")
+    for idx, count in copies.most_common(8):
+        request = instance.requests[idx]
+        hops = len(repeated.routed_for(idx)[0].edge_ids)
+        table.add_row([request.name, hops, request.demand, request.value, count,
+                       count * request.value])
+    print(table.render())
+
+    utilization = repeated.edge_utilization()
+    print(f"\nnetwork utilization under repetitions: mean {utilization.mean():.2%}, "
+          f"max {utilization.max():.2%} "
+          f"(vs mean {single_shot.edge_utilization().mean():.2%} single-shot)")
+    print(f"iterations: {repeated.stats.iterations} "
+          f"(bound m*c_max/d_min = "
+          f"{instance.num_edges * instance.graph.max_capacity / instance.min_demand:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+editable installs keep working on environments whose ``pip``/``setuptools``
+cannot build PEP 660 editable wheels (e.g. offline boxes without the
+``wheel`` package):
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Single-minded multi-unit combinatorial auction substrate (Section 4).
+
+The B-bounded multi-unit combinatorial auction is the "graphless" special
+case of the unsplittable flow ILP: items play the role of edges, bundles play
+the role of (fixed) paths and every demand is one unit of each item in the
+bundle.  The package mirrors :mod:`repro.flows`:
+
+* :class:`~repro.auctions.instance.Bid` / :class:`~repro.auctions.instance.MUCAInstance`
+  — bidders and instances,
+* :class:`~repro.auctions.allocation.MUCAAllocation` — winner sets with
+  feasibility checking against item multiplicities,
+* :mod:`repro.auctions.generators` — random auction workloads,
+* :mod:`repro.auctions.lower_bounds` — the Figure 4 partition family behind
+  the 4/3 lower bound of Theorem 4.5.
+"""
+
+from repro.auctions.instance import Bid, MUCAInstance
+from repro.auctions.allocation import MUCAAllocation, item_loads
+from repro.auctions.generators import random_auction, correlated_auction
+from repro.auctions.lower_bounds import (
+    partition_instance,
+    partition_optimal_value,
+    partition_reasonable_upper_bound,
+)
+
+__all__ = [
+    "Bid",
+    "MUCAInstance",
+    "MUCAAllocation",
+    "item_loads",
+    "random_auction",
+    "correlated_auction",
+    "partition_instance",
+    "partition_optimal_value",
+    "partition_reasonable_upper_bound",
+]

@@ -1,0 +1,147 @@
+"""Random auction workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.auctions.instance import Bid, MUCAInstance
+from repro.exceptions import InvalidInstanceError
+from repro.utils.prng import ensure_rng
+
+__all__ = ["random_auction", "correlated_auction"]
+
+
+def random_auction(
+    *,
+    num_items: int = 30,
+    num_bids: int = 100,
+    multiplicity: float | tuple[float, float] = 50.0,
+    bundle_size_range: tuple[int, int] = (1, 5),
+    value_range: tuple[float, float] = (0.5, 2.0),
+    value_proportional_to_size: bool = False,
+    seed: int | np.random.Generator | None = None,
+    name: str = "random-auction",
+) -> MUCAInstance:
+    """A uniform random single-minded multi-unit auction.
+
+    Parameters
+    ----------
+    num_items:
+        Number of item kinds ``m``.
+    num_bids:
+        Number of single-minded bidders.
+    multiplicity:
+        Uniform multiplicity ``c_u`` of every item, or a ``(low, high)``
+        range (integer multiplicities are not required by the algorithms, but
+        realistic auctions use integers; pass ints to get them).
+    bundle_size_range:
+        Each bidder's bundle size is drawn uniformly from this inclusive
+        range, then that many distinct items are sampled.
+    value_range:
+        Uniform value range; when ``value_proportional_to_size`` is set the
+        draw is a per-item density multiplied by the bundle size.
+    """
+    if num_items < 1 or num_bids < 0:
+        raise InvalidInstanceError("num_items must be >= 1 and num_bids >= 0")
+    lo, hi = int(bundle_size_range[0]), int(bundle_size_range[1])
+    if not 1 <= lo <= hi <= num_items:
+        raise InvalidInstanceError(
+            f"bundle_size_range {bundle_size_range!r} invalid for {num_items} items"
+        )
+    v_lo, v_hi = float(value_range[0]), float(value_range[1])
+    if not 0 < v_lo <= v_hi:
+        raise InvalidInstanceError(f"invalid value range {value_range!r}")
+    rng = ensure_rng(seed)
+
+    if isinstance(multiplicity, tuple):
+        m_lo, m_hi = float(multiplicity[0]), float(multiplicity[1])
+        if not 0 < m_lo <= m_hi:
+            raise InvalidInstanceError(f"invalid multiplicity range {multiplicity!r}")
+        multiplicities = rng.uniform(m_lo, m_hi, size=num_items)
+    else:
+        if float(multiplicity) <= 0:
+            raise InvalidInstanceError("multiplicity must be positive")
+        multiplicities = np.full(num_items, float(multiplicity))
+
+    bids: list[Bid] = []
+    for i in range(num_bids):
+        size = int(rng.integers(lo, hi + 1))
+        bundle = rng.choice(num_items, size=size, replace=False)
+        if value_proportional_to_size:
+            value = float(rng.uniform(v_lo, v_hi)) * size
+        else:
+            value = float(rng.uniform(v_lo, v_hi))
+        bids.append(Bid(tuple(int(u) for u in bundle), value, name=f"b{i}"))
+
+    return MUCAInstance(
+        multiplicities,
+        bids,
+        name=name,
+        metadata={
+            "kind": "random-auction",
+            "num_items": num_items,
+            "num_bids": num_bids,
+            "multiplicity": multiplicity,
+        },
+    )
+
+
+def correlated_auction(
+    *,
+    num_items: int = 30,
+    num_bids: int = 100,
+    multiplicity: float = 50.0,
+    num_popular: int = 5,
+    popular_probability: float = 0.6,
+    bundle_size_range: tuple[int, int] = (2, 6),
+    value_range: tuple[float, float] = (0.5, 2.0),
+    seed: int | np.random.Generator | None = None,
+    name: str = "correlated-auction",
+) -> MUCAInstance:
+    """An auction where a few "popular" items appear in most bundles.
+
+    Popular items behave like the scarce central edges of the UFP lower
+    bounds: contention concentrates on them, so greedy/iterative algorithms
+    that commit early can block many later bids.  This workload separates
+    the algorithms more sharply than :func:`random_auction`.
+    """
+    if not 1 <= num_popular <= num_items:
+        raise InvalidInstanceError("num_popular must lie in [1, num_items]")
+    if not 0 <= popular_probability <= 1:
+        raise InvalidInstanceError("popular_probability must lie in [0, 1]")
+    rng = ensure_rng(seed)
+    popular = rng.choice(num_items, size=num_popular, replace=False)
+    popular_set = set(int(u) for u in popular)
+    others = np.array([u for u in range(num_items) if u not in popular_set], dtype=np.int64)
+    lo, hi = int(bundle_size_range[0]), int(bundle_size_range[1])
+    if not 1 <= lo <= hi <= num_items:
+        raise InvalidInstanceError(
+            f"bundle_size_range {bundle_size_range!r} invalid for {num_items} items"
+        )
+    v_lo, v_hi = float(value_range[0]), float(value_range[1])
+
+    bids: list[Bid] = []
+    for i in range(num_bids):
+        size = int(rng.integers(lo, hi + 1))
+        bundle: set[int] = set()
+        if rng.random() < popular_probability:
+            bundle.add(int(rng.choice(popular)))
+        remaining = size - len(bundle)
+        if remaining > 0 and others.size > 0:
+            extra = rng.choice(others, size=min(remaining, others.size), replace=False)
+            bundle.update(int(u) for u in extra)
+        if not bundle:
+            bundle.add(int(rng.choice(popular)))
+        value = float(rng.uniform(v_lo, v_hi)) * len(bundle)
+        bids.append(Bid(tuple(sorted(bundle)), value, name=f"b{i}"))
+
+    return MUCAInstance(
+        np.full(num_items, float(multiplicity)),
+        bids,
+        name=name,
+        metadata={
+            "kind": "correlated-auction",
+            "popular_items": sorted(popular_set),
+            "multiplicity": multiplicity,
+        },
+    )

@@ -1,0 +1,212 @@
+"""Bids and instances of the single-minded multi-unit combinatorial auction."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError, InvalidRequestError
+from repro.types import ufp_capacity_threshold
+from repro.utils.validation import check_positive
+
+__all__ = ["Bid", "MUCAInstance"]
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A single-minded bid ``(U_r, v_r)``.
+
+    Attributes
+    ----------
+    bundle:
+        The set of item indices the bidder wants — one unit of each.  Stored
+        as a sorted tuple for deterministic iteration order.
+    value:
+        The (declared) value of receiving the whole bundle.
+    name:
+        Optional identifier used in reports.
+
+    Notes
+    -----
+    In the *known* single-minded setting only ``value`` is private; in the
+    *unknown* single-minded setting (Corollary 4.2) the bundle is private too
+    and a bidder may declare a superset-free distortion of it.  Both are
+    supported by :meth:`with_value` / :meth:`with_bundle`.
+    """
+
+    bundle: tuple[int, ...]
+    value: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        items = tuple(sorted(int(u) for u in self.bundle))
+        if len(items) == 0:
+            raise InvalidRequestError("a bid must request at least one item")
+        if len(set(items)) != len(items):
+            raise InvalidRequestError(f"bundle {self.bundle!r} contains duplicate items")
+        object.__setattr__(self, "bundle", items)
+        object.__setattr__(self, "value", check_positive(self.value, "value"))
+
+    @property
+    def size(self) -> int:
+        """Number of distinct items in the bundle."""
+        return len(self.bundle)
+
+    @property
+    def type(self) -> tuple[tuple[int, ...], float]:
+        """The agent-controlled type: ``(bundle, value)``."""
+        return (self.bundle, self.value)
+
+    def with_value(self, value: float) -> "Bid":
+        """Return a copy with the declared value replaced."""
+        return replace(self, value=value)
+
+    def with_bundle(self, bundle: Iterable[int]) -> "Bid":
+        """Return a copy with the declared bundle replaced."""
+        return replace(self, bundle=tuple(bundle))
+
+    def dominates_type_of(self, other: "Bid") -> bool:
+        """True when this declaration is at least as strong as ``other``'s:
+        a sub-bundle with value no smaller (the MUCA analogue of demand-down /
+        value-up domination)."""
+        return set(self.bundle) <= set(other.bundle) and self.value >= other.value - 1e-15
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}bundle={list(self.bundle)} (v={self.value:g})"
+
+
+@dataclass(frozen=True)
+class MUCAInstance:
+    """An instance of the B-bounded single-minded multi-unit auction.
+
+    Attributes
+    ----------
+    multiplicities:
+        Array of length ``m`` (number of item kinds); ``multiplicities[u]``
+        is the number of available copies ``c_u`` of item ``u``.
+    bids:
+        The declared single-minded bids.
+    """
+
+    multiplicities: np.ndarray
+    bids: tuple[Bid, ...]
+    name: str = ""
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __init__(
+        self,
+        multiplicities: Sequence[float] | np.ndarray,
+        bids: Iterable[Bid | tuple],
+        *,
+        name: str = "",
+        metadata: dict | None = None,
+    ) -> None:
+        mult = np.asarray(multiplicities, dtype=np.float64)
+        if mult.ndim != 1 or mult.size == 0:
+            raise InvalidInstanceError("multiplicities must be a non-empty 1-D array")
+        if np.any(~np.isfinite(mult)) or np.any(mult <= 0):
+            raise InvalidInstanceError("item multiplicities must be positive and finite")
+
+        normalized: list[Bid] = []
+        for idx, item in enumerate(bids):
+            if isinstance(item, Bid):
+                bid = item
+            else:
+                bundle, value = item
+                bid = Bid(tuple(bundle), float(value))
+            if not bid.name:
+                bid = replace(bid, name=f"b{idx}")
+            for u in bid.bundle:
+                if not 0 <= u < mult.size:
+                    raise InvalidInstanceError(
+                        f"bid {bid.name!r} requests item {u}, but there are only "
+                        f"{mult.size} item kinds"
+                    )
+            normalized.append(bid)
+
+        object.__setattr__(self, "multiplicities", mult)
+        object.__setattr__(self, "bids", tuple(normalized))
+        object.__setattr__(self, "name", str(name))
+        object.__setattr__(self, "metadata", dict(metadata or {}))
+
+    # ------------------------------------------------------------------ #
+    # Sizes and bounds
+    # ------------------------------------------------------------------ #
+    @property
+    def num_items(self) -> int:
+        """Number of item kinds ``m``."""
+        return int(self.multiplicities.size)
+
+    @property
+    def num_bids(self) -> int:
+        return len(self.bids)
+
+    @property
+    def total_value(self) -> float:
+        return float(sum(b.value for b in self.bids))
+
+    def capacity_bound(self) -> float:
+        """``B = min_u c_u`` — the minimum multiplicity."""
+        return float(self.multiplicities.min())
+
+    def meets_capacity_assumption(self, epsilon: float) -> bool:
+        """Whether ``B >= ln(m) / eps^2`` (the Theorem 4.1 assumption)."""
+        return self.capacity_bound() >= ufp_capacity_threshold(self.num_items, epsilon)
+
+    def minimum_epsilon(self) -> float:
+        """Smallest ``eps`` for which the capacity assumption holds, or
+        ``inf`` when even ``eps = 1`` is insufficient."""
+        b = self.capacity_bound()
+        eps = math.sqrt(math.log(max(self.num_items, 2)) / b)
+        return eps if eps <= 1.0 else math.inf
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def with_bids(self, bids: Iterable[Bid | tuple]) -> "MUCAInstance":
+        """Return a copy with a different bid list."""
+        return MUCAInstance(
+            self.multiplicities, bids, name=self.name, metadata=dict(self.metadata)
+        )
+
+    def replace_bid(self, index: int, new_bid: Bid) -> "MUCAInstance":
+        """Return a copy with the bid at ``index`` replaced (position kept)."""
+        if not 0 <= index < len(self.bids):
+            raise IndexError(index)
+        bids = list(self.bids)
+        bids[index] = new_bid
+        return self.with_bids(bids)
+
+    def values_array(self) -> np.ndarray:
+        """Bid values as a numpy array aligned with bid order."""
+        return np.array([b.value for b in self.bids], dtype=np.float64)
+
+    def incidence_matrix(self) -> np.ndarray:
+        """Dense 0/1 matrix ``A`` with ``A[u, r] = 1`` iff item ``u`` is in
+        bid ``r``'s bundle.  Convenient for LP assembly and tests on small
+        instances; large instances should iterate bundles directly."""
+        A = np.zeros((self.num_items, self.num_bids), dtype=np.float64)
+        for r, bid in enumerate(self.bids):
+            for u in bid.bundle:
+                A[u, r] = 1.0
+        return A
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MUCAInstance):
+            return NotImplemented
+        return (
+            np.array_equal(self.multiplicities, other.multiplicities)
+            and self.bids == other.bids
+            and self.name == other.name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_items, self.bids, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"MUCAInstance({label} m={self.num_items}, |R|={self.num_bids})"

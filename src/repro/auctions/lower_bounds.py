@@ -1,0 +1,126 @@
+"""The Figure 4 partition family behind the 4/3 MUCA lower bound.
+
+Theorem 4.5: let ``m`` be a multiple of ``p * (p + 1)`` for an odd constant
+``p >= 3``, partition the items into ``p * (p + 1)`` equal groups ``U_{i,j}``
+(``i = 1..p``, ``j = 1..p+1``) and issue two kinds of unit-value bids:
+
+* **row bids** — ``B/2`` copies of the bundle ``U_ell = union_j U_{ell,j}``
+  for every row ``ell``;
+* **column bids** — for every column pair ``(2l-1, 2l)``: ``B/2`` copies of
+  ``U_{1,2l-1} ∪ U_{1,2l} ∪ union_{i>=2} U_{i,2l-1}`` and ``B/2`` copies of
+  ``U_{1,2l-1} ∪ U_{1,2l} ∪ union_{i>=2} U_{i,2l}``.
+
+The optimum has value ``p * B`` (take every bid except the row-1 bids), while
+a reasonable iterative bundle minimizing algorithm first exhausts the row
+bids and is then left with at most ``(p+1)/4 * B`` satisfiable column bids,
+for a total of ``(3p + 1)/4 * B`` — a ratio approaching ``4/3``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.auctions.instance import Bid, MUCAInstance
+from repro.exceptions import InvalidInstanceError
+
+__all__ = [
+    "partition_instance",
+    "partition_optimal_value",
+    "partition_reasonable_upper_bound",
+]
+
+
+def partition_instance(
+    p: int,
+    capacity: int,
+    *,
+    items_per_group: int = 1,
+    name: str = "",
+) -> MUCAInstance:
+    """Build the Figure 4 instance.
+
+    Parameters
+    ----------
+    p:
+        The odd constant ``p >= 3`` of the construction; the inapproximability
+        ratio ``(4p)/(3p+1)`` approaches ``4/3`` as ``p`` grows.
+    capacity:
+        ``B`` — the uniform item multiplicity.  Must be even so the ``B/2``
+        bid counts are integral.
+    items_per_group:
+        Size of each group ``U_{i,j}``; the paper uses ``m / (p(p+1))`` which
+        is arbitrary, so the default of one item per group gives the smallest
+        faithful instance (``m = p(p+1)``).
+
+    Returns
+    -------
+    MUCAInstance
+        With metadata recording the known optimum and the reasonable-algorithm
+        upper bound.
+    """
+    p = int(p)
+    B = int(capacity)
+    k = int(items_per_group)
+    if p < 3 or p % 2 == 0:
+        raise InvalidInstanceError("p must be an odd integer >= 3")
+    if B < 2 or B % 2 != 0:
+        raise InvalidInstanceError("capacity B must be an even integer >= 2")
+    if k < 1:
+        raise InvalidInstanceError("items_per_group must be >= 1")
+
+    num_groups = p * (p + 1)
+    num_items = num_groups * k
+
+    def group_items(i: int, j: int) -> list[int]:
+        """Items of group ``U_{i,j}`` with ``i in [1, p]`` and ``j in [1, p+1]``."""
+        gid = (i - 1) * (p + 1) + (j - 1)
+        return list(range(gid * k, (gid + 1) * k))
+
+    bids: list[Bid] = []
+    # Row bids: U_ell = union over columns of U_{ell, j}.
+    for ell in range(1, p + 1):
+        bundle: list[int] = []
+        for j in range(1, p + 2):
+            bundle.extend(group_items(ell, j))
+        for _ in range(B // 2):
+            bids.append(Bid(tuple(bundle), 1.0, name=f"row{ell}_{len(bids)}"))
+
+    # Column bids: for every l = 1 .. (p+1)/2, two flavours.
+    for l in range(1, (p + 1) // 2 + 1):
+        base = group_items(1, 2 * l - 1) + group_items(1, 2 * l)
+        odd_bundle = list(base)
+        even_bundle = list(base)
+        for i in range(2, p + 1):
+            odd_bundle.extend(group_items(i, 2 * l - 1))
+            even_bundle.extend(group_items(i, 2 * l))
+        for _ in range(B // 2):
+            bids.append(Bid(tuple(odd_bundle), 1.0, name=f"colA{l}_{len(bids)}"))
+        for _ in range(B // 2):
+            bids.append(Bid(tuple(even_bundle), 1.0, name=f"colB{l}_{len(bids)}"))
+
+    metadata = {
+        "kind": "partition",
+        "p": p,
+        "B": B,
+        "items_per_group": k,
+        "known_optimum": partition_optimal_value(p, B),
+        "reasonable_upper_bound": partition_reasonable_upper_bound(p, B),
+    }
+    return MUCAInstance(
+        np.full(num_items, float(B)),
+        bids,
+        name=name or f"partition(p={p}, B={B})",
+        metadata=metadata,
+    )
+
+
+def partition_optimal_value(p: int, capacity: int) -> float:
+    """The optimum of the Figure 4 instance is ``p * B`` (select every bid
+    except the ``B/2`` row bids that consist of ``U_1``)."""
+    return float(int(p) * int(capacity))
+
+
+def partition_reasonable_upper_bound(p: int, capacity: int) -> float:
+    """A reasonable iterative bundle minimizer achieves at most
+    ``(3p + 1)/4 * B`` on the Figure 4 instance (Theorem 4.5)."""
+    return (3 * int(p) + 1) / 4.0 * int(capacity)

@@ -1,0 +1,209 @@
+"""A Briest–Krysta–Vöcking style primal-dual baseline (approximation ~ e).
+
+The paper compares its ``e/(e-1)`` guarantee against the previously best
+truthful mechanism of Briest, Krysta and Vöcking (STOC 2005), described only
+as "a monotone primal-dual based algorithm, motivated by the work of Garg and
+Könemann, achieving an approximation guarantee that approaches e".  The
+original algorithm is not reproduced verbatim here (the STOC'05 paper is a
+separate artifact); instead this module reconstructs a member of the same
+family with the same guarantee:
+
+* it is the identical iterative normalized-shortest-path minimizer with the
+  identical exponential weight update ``y_e *= exp(eps B d / c_e)``, but
+* it stops at the **more conservative dual budget**
+  ``sum_e c_e y_e <= e^{beta * eps * (B - 1)}`` with
+  ``beta = -ln(1 - 1/e) ≈ 0.4587``.
+
+Feasibility holds a fortiori (the budget is smaller than Algorithm 1's), the
+algorithm is monotone by the same argument as Lemma 3.4, and rerunning the
+Lemma 3.8 analysis with threshold ``e^{beta eps (B-1)}`` gives
+``D/P <= 1 / (1 - e^{-beta}) + o(1) = e + o(1)`` — the BKV-type guarantee.
+The reconstruction therefore preserves exactly the property the comparison
+experiments need: a truthful primal-dual mechanism whose guarantee (and
+empirical behaviour on the adversarial workloads) is a constant factor worse
+because it commits to stopping earlier.  The substitution is recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.auctions.allocation import MUCAAllocation
+from repro.auctions.instance import MUCAInstance
+from repro.core.dual_state import DualWeights
+from repro.exceptions import InvalidInstanceError
+from repro.flows.allocation import Allocation, RoutedRequest
+from repro.flows.instance import UFPInstance
+from repro.graphs.shortest_path import single_source_dijkstra
+from repro.types import RunStats
+
+__all__ = ["BKV_STOP_FRACTION", "briest_style_ufp", "briest_style_muca"]
+
+#: The stopping-threshold fraction ``beta`` for which the Lemma 3.8 analysis
+#: yields a guarantee of ``1 / (1 - e^{-beta}) = e``.
+BKV_STOP_FRACTION: float = -math.log(1.0 - 1.0 / math.e)
+
+
+class _ConservativeDuals(DualWeights):
+    """Dual weights whose budget limit is scaled down by ``beta``."""
+
+    __slots__ = ("_beta",)
+
+    def __init__(self, capacities, epsilon, *, beta: float, capacity_bound=None) -> None:
+        super().__init__(capacities, epsilon, capacity_bound=capacity_bound)
+        if not 0.0 < beta <= 1.0:
+            raise ValueError("beta must lie in (0, 1]")
+        self._beta = float(beta)
+
+    @property
+    def budget_limit(self) -> float:  # noqa: D401 - same semantics, scaled
+        """The conservative threshold ``e^{beta * eps * (B - 1)}``."""
+        return math.exp(self._beta * self.epsilon * (self.capacity_bound - 1.0))
+
+
+def briest_style_ufp(
+    instance: UFPInstance,
+    epsilon: float,
+    *,
+    stop_fraction: float = BKV_STOP_FRACTION,
+) -> Allocation:
+    """Run the reconstructed BKV-style primal-dual UFP algorithm.
+
+    Parameters
+    ----------
+    instance:
+        The B-bounded instance (demands in ``(0, 1]``).
+    epsilon:
+        Accuracy parameter in ``(0, 1]``.
+    stop_fraction:
+        The fraction ``beta`` of the Algorithm 1 budget exponent at which to
+        stop; the default reproduces the ``e``-type guarantee.  ``1.0``
+        recovers ``Bounded-UFP`` exactly, which makes this function the
+        natural vehicle for the stopping-rule ablation of experiment E8.
+    """
+    if not 0.0 < float(epsilon) <= 1.0:
+        raise ValueError("epsilon must lie in (0, 1]")
+    if instance.num_edges == 0:
+        raise InvalidInstanceError("the instance graph has no edges")
+    if instance.num_requests and instance.max_demand > 1.0 + 1e-12:
+        raise InvalidInstanceError("demands must be normalized to (0, 1]")
+
+    graph = instance.graph
+    start = time.perf_counter()
+    duals = _ConservativeDuals(graph.capacities, float(epsilon), beta=float(stop_fraction))
+
+    pool: set[int] = set(range(instance.num_requests))
+    routed: list[RoutedRequest] = []
+    iterations = 0
+    sp_calls = 0
+    stopped_by_budget = False
+
+    while pool:
+        if not duals.within_budget:
+            stopped_by_budget = True
+            break
+        weights = duals.weights
+        by_source: dict[int, list[int]] = {}
+        for idx in pool:
+            by_source.setdefault(instance.requests[idx].source, []).append(idx)
+
+        best_idx = -1
+        best_score = math.inf
+        best_path = None
+        unreachable: list[int] = []
+        for source in sorted(by_source):
+            idxs = by_source[source]
+            targets = {instance.requests[i].target for i in idxs}
+            tree = single_source_dijkstra(graph, source, weights, targets=targets)
+            sp_calls += 1
+            for i in sorted(idxs):
+                req = instance.requests[i]
+                if not tree.reachable(req.target):
+                    unreachable.append(i)
+                    continue
+                score = req.demand / req.value * tree.distance(req.target)
+                if score < best_score - 1e-15:
+                    best_score = score
+                    best_idx = i
+                    best_path = tree.path_to(req.target)
+        for i in unreachable:
+            pool.discard(i)
+        if best_idx < 0:
+            break
+        req = instance.requests[best_idx]
+        vertices, edge_ids = best_path  # type: ignore[misc]
+        duals.apply_selection(edge_ids, req.demand)
+        routed.append(
+            RoutedRequest(
+                request_index=best_idx, request=req, vertices=vertices, edge_ids=edge_ids
+            )
+        )
+        pool.discard(best_idx)
+        iterations += 1
+
+    stats = RunStats(
+        iterations=iterations,
+        shortest_path_calls=sp_calls,
+        stopped_by_budget=stopped_by_budget,
+        wall_time_s=time.perf_counter() - start,
+        extra={"stop_fraction": float(stop_fraction), "epsilon": float(epsilon)},
+    )
+    return Allocation(
+        instance=instance,
+        routed=routed,
+        stats=stats,
+        algorithm=f"BKV-style-UFP(eps={float(epsilon):g}, beta={float(stop_fraction):.3f})",
+    )
+
+
+def briest_style_muca(
+    instance: MUCAInstance,
+    epsilon: float,
+    *,
+    stop_fraction: float = BKV_STOP_FRACTION,
+) -> MUCAAllocation:
+    """The auction analogue of :func:`briest_style_ufp`."""
+    if not 0.0 < float(epsilon) <= 1.0:
+        raise ValueError("epsilon must lie in (0, 1]")
+    start = time.perf_counter()
+    duals = _ConservativeDuals(
+        instance.multiplicities, float(epsilon), beta=float(stop_fraction)
+    )
+    pool: set[int] = set(range(instance.num_bids))
+    winners: list[int] = []
+    iterations = 0
+    stopped_by_budget = False
+
+    while pool:
+        if not duals.within_budget:
+            stopped_by_budget = True
+            break
+        best_idx = -1
+        best_score = math.inf
+        for i in sorted(pool):
+            bid = instance.bids[i]
+            score = duals.path_length(bid.bundle) / bid.value
+            if score < best_score - 1e-15:
+                best_score = score
+                best_idx = i
+        if best_idx < 0:  # pragma: no cover
+            break
+        duals.apply_selection(instance.bids[best_idx].bundle, 1.0)
+        winners.append(best_idx)
+        pool.discard(best_idx)
+        iterations += 1
+
+    stats = RunStats(
+        iterations=iterations,
+        stopped_by_budget=stopped_by_budget,
+        wall_time_s=time.perf_counter() - start,
+        extra={"stop_fraction": float(stop_fraction), "epsilon": float(epsilon)},
+    )
+    return MUCAAllocation(
+        instance=instance,
+        winners=winners,
+        stats=stats,
+        algorithm=f"BKV-style-MUCA(eps={float(epsilon):g}, beta={float(stop_fraction):.3f})",
+    )

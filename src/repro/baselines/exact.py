@@ -1,0 +1,195 @@
+"""Exact (exponential-time) solvers for small instances.
+
+Exact optima are needed as ground truth in unit tests and in the small-scale
+cells of the comparison experiment: the fractional LP only gives an upper
+bound, while these solvers give the true integral optimum — at exponential
+cost, so they enforce explicit size limits rather than silently running
+forever.
+
+* :func:`exact_ufp` enumerates the simple paths of every request (with a
+  configurable cap) and runs a depth-first branch-and-bound over
+  "skip or route along one of the paths" decisions, pruning with the sum of
+  remaining values.
+* :func:`exact_muca` runs the analogous branch-and-bound over bids.
+"""
+
+from __future__ import annotations
+
+import time
+
+import networkx as nx
+import numpy as np
+
+from repro.auctions.allocation import MUCAAllocation
+from repro.auctions.instance import MUCAInstance
+from repro.exceptions import InvalidInstanceError
+from repro.flows.allocation import Allocation, RoutedRequest
+from repro.flows.instance import UFPInstance
+from repro.graphs.generators import to_networkx
+from repro.graphs.paths import path_edge_ids
+from repro.types import RunStats
+
+__all__ = ["exact_ufp", "exact_muca"]
+
+
+def exact_ufp(
+    instance: UFPInstance,
+    *,
+    max_requests: int = 18,
+    max_paths_per_request: int = 60,
+    max_path_hops: int | None = None,
+) -> Allocation:
+    """Optimal unsplittable flow by branch-and-bound over path choices.
+
+    Parameters
+    ----------
+    instance:
+        The instance; must have at most ``max_requests`` requests.
+    max_requests:
+        Safety limit — the search is exponential in the number of requests.
+    max_paths_per_request:
+        Cap on enumerated simple paths per request; if a request has more,
+        only the first ``max_paths_per_request`` (in networkx enumeration
+        order) are considered, which can make the result an underestimate.
+        The limit is generous for the small graphs this is meant for.
+    max_path_hops:
+        Optional cutoff on path length (edges) during enumeration.
+
+    Returns
+    -------
+    Allocation
+        An optimal feasible allocation (ties broken arbitrarily).
+    """
+    if instance.num_requests > int(max_requests):
+        raise InvalidInstanceError(
+            f"exact_ufp limited to {max_requests} requests; got {instance.num_requests}"
+        )
+    graph = instance.graph
+    start = time.perf_counter()
+    nxg = to_networkx(graph)
+
+    # Enumerate candidate paths per request.
+    candidate_paths: list[list[tuple[tuple[int, ...], tuple[int, ...]]]] = []
+    for req in instance.requests:
+        paths: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        if nx.has_path(nxg, req.source, req.target):
+            for vertices in nx.all_simple_paths(
+                nxg, req.source, req.target, cutoff=max_path_hops
+            ):
+                vertices = tuple(int(v) for v in vertices)
+                paths.append((vertices, path_edge_ids(graph, vertices)))
+                if len(paths) >= int(max_paths_per_request):
+                    break
+        candidate_paths.append(paths)
+
+    # Order requests by decreasing value so good solutions are found early
+    # and the bound prunes aggressively.
+    order = sorted(range(instance.num_requests), key=lambda i: -instance.requests[i].value)
+    suffix_value = np.zeros(instance.num_requests + 1, dtype=np.float64)
+    for pos in range(instance.num_requests - 1, -1, -1):
+        suffix_value[pos] = suffix_value[pos + 1] + instance.requests[order[pos]].value
+
+    capacities = graph.capacities
+    best_value = -1.0
+    best_choice: list[tuple[int, int]] = []  # (request index, path position)
+    current: list[tuple[int, int]] = []
+    residual = capacities.copy()
+    nodes_explored = 0
+
+    def recurse(pos: int, value: float) -> None:
+        nonlocal best_value, best_choice, nodes_explored
+        nodes_explored += 1
+        if value > best_value:
+            best_value = value
+            best_choice = list(current)
+        if pos >= len(order):
+            return
+        if value + suffix_value[pos] <= best_value + 1e-12:
+            return  # cannot beat the incumbent
+        idx = order[pos]
+        req = instance.requests[idx]
+        # Branch 1..k: route along each candidate path that still fits.
+        for path_pos, (_, edge_ids) in enumerate(candidate_paths[idx]):
+            ids = np.asarray(edge_ids, dtype=np.int64)
+            if np.any(residual[ids] + 1e-12 < req.demand):
+                continue
+            residual[ids] -= req.demand
+            current.append((idx, path_pos))
+            recurse(pos + 1, value + req.value)
+            current.pop()
+            residual[ids] += req.demand
+        # Branch 0: skip the request.
+        recurse(pos + 1, value)
+
+    recurse(0, 0.0)
+
+    routed = [
+        RoutedRequest(
+            request_index=idx,
+            request=instance.requests[idx],
+            vertices=candidate_paths[idx][path_pos][0],
+            edge_ids=candidate_paths[idx][path_pos][1],
+        )
+        for idx, path_pos in best_choice
+    ]
+    stats = RunStats(
+        iterations=nodes_explored,
+        wall_time_s=time.perf_counter() - start,
+        extra={"nodes_explored": float(nodes_explored)},
+    )
+    return Allocation(instance=instance, routed=routed, stats=stats, algorithm="Exact-UFP")
+
+
+def exact_muca(
+    instance: MUCAInstance,
+    *,
+    max_bids: int = 24,
+) -> MUCAAllocation:
+    """Optimal multi-unit auction allocation by branch-and-bound over bids."""
+    if instance.num_bids > int(max_bids):
+        raise InvalidInstanceError(
+            f"exact_muca limited to {max_bids} bids; got {instance.num_bids}"
+        )
+    start = time.perf_counter()
+    order = sorted(range(instance.num_bids), key=lambda i: -instance.bids[i].value)
+    suffix_value = np.zeros(instance.num_bids + 1, dtype=np.float64)
+    for pos in range(instance.num_bids - 1, -1, -1):
+        suffix_value[pos] = suffix_value[pos + 1] + instance.bids[order[pos]].value
+
+    residual = instance.multiplicities.copy()
+    best_value = -1.0
+    best_set: list[int] = []
+    current: list[int] = []
+    nodes_explored = 0
+
+    def recurse(pos: int, value: float) -> None:
+        nonlocal best_value, best_set, nodes_explored
+        nodes_explored += 1
+        if value > best_value:
+            best_value = value
+            best_set = list(current)
+        if pos >= len(order):
+            return
+        if value + suffix_value[pos] <= best_value + 1e-12:
+            return
+        idx = order[pos]
+        bid = instance.bids[idx]
+        ids = np.asarray(bid.bundle, dtype=np.int64)
+        if np.all(residual[ids] + 1e-12 >= 1.0):
+            residual[ids] -= 1.0
+            current.append(idx)
+            recurse(pos + 1, value + bid.value)
+            current.pop()
+            residual[ids] += 1.0
+        recurse(pos + 1, value)
+
+    recurse(0, 0.0)
+
+    stats = RunStats(
+        iterations=nodes_explored,
+        wall_time_s=time.perf_counter() - start,
+        extra={"nodes_explored": float(nodes_explored)},
+    )
+    return MUCAAllocation(
+        instance=instance, winners=best_set, stats=stats, algorithm="Exact-MUCA"
+    )

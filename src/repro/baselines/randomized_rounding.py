@@ -1,0 +1,148 @@
+"""Randomized rounding of the fractional LP (Raghavan–Thompson).
+
+For ``B = Omega(ln m / eps^2)`` the classical technique — solve the
+fractional relaxation, scale it down by ``(1 - eps)`` and round each request
+independently (selecting path ``s`` with probability proportional to its
+fractional weight) — yields a ``(1 + eps)``-approximation with high
+probability.  The paper's point is that this near-optimal algorithm is *not
+monotone* (a request that raises its value can change the LP solution and the
+coin flips in a way that turns it from a winner into a loser), so it cannot
+be used as a truthful mechanism; experiment E4/E8 demonstrates both facts
+empirically: near-optimal value, failed monotonicity audit.
+
+Two safety nets keep the output feasible on every run (the classical
+analysis only gives feasibility with high probability):
+
+* the fractional solution is scaled by ``1 - eps`` before rounding, and
+* requests whose rounded path would overflow an edge are dropped in rounding
+  order (a standard alteration step).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.auctions.allocation import MUCAAllocation
+from repro.auctions.instance import MUCAInstance
+from repro.flows.allocation import Allocation, RoutedRequest
+from repro.flows.instance import UFPInstance
+from repro.lp.fractional_muca import solve_fractional_muca
+from repro.lp.path_lp import solve_path_lp
+from repro.types import RunStats
+from repro.utils.prng import ensure_rng
+
+__all__ = ["randomized_rounding_ufp", "randomized_rounding_muca"]
+
+
+def randomized_rounding_ufp(
+    instance: UFPInstance,
+    epsilon: float = 0.1,
+    *,
+    seed: int | np.random.Generator | None = None,
+    drop_violators: bool = True,
+) -> Allocation:
+    """Randomized rounding of the path LP.
+
+    Parameters
+    ----------
+    instance:
+        The UFP instance.
+    epsilon:
+        Scaling parameter: each request is selected with probability
+        ``(1 - eps) * sum_s x_s`` and, if selected, routed along path ``s``
+        with probability proportional to ``x_s``.
+    seed:
+        Randomness source (the rounding is inherently randomized — which is
+        precisely why it cannot be derandomized into a monotone rule by
+        simple means).
+    drop_violators:
+        Apply the alteration step that drops any rounded request whose path
+        would exceed a capacity.  Disable only to observe raw rounding.
+    """
+    if not 0.0 < float(epsilon) < 1.0:
+        raise ValueError("epsilon must lie in (0, 1)")
+    rng = ensure_rng(seed)
+    start = time.perf_counter()
+
+    lp = solve_path_lp(instance)
+    graph = instance.graph
+    residual = graph.capacities.copy()
+    routed: list[RoutedRequest] = []
+
+    for idx, req in enumerate(instance.requests):
+        distribution = lp.path_distribution(idx)
+        if not distribution:
+            continue
+        total = sum(weight for _, weight in distribution)
+        accept_probability = (1.0 - float(epsilon)) * min(total, 1.0)
+        if rng.random() >= accept_probability:
+            continue
+        weights = np.array([w for _, w in distribution], dtype=np.float64)
+        weights = weights / weights.sum()
+        choice = int(rng.choice(len(distribution), p=weights))
+        column = distribution[choice][0]
+        ids = np.asarray(column.edge_ids, dtype=np.int64)
+        if drop_violators and np.any(residual[ids] + 1e-12 < req.demand):
+            continue
+        residual[ids] -= req.demand
+        routed.append(
+            RoutedRequest(
+                request_index=idx,
+                request=req,
+                vertices=column.vertices,
+                edge_ids=column.edge_ids,
+            )
+        )
+
+    stats = RunStats(
+        iterations=instance.num_requests,
+        wall_time_s=time.perf_counter() - start,
+        extra={"lp_objective": lp.objective, "epsilon": float(epsilon)},
+    )
+    return Allocation(
+        instance=instance,
+        routed=routed,
+        stats=stats,
+        algorithm=f"RandomizedRounding-UFP(eps={float(epsilon):g})",
+    )
+
+
+def randomized_rounding_muca(
+    instance: MUCAInstance,
+    epsilon: float = 0.1,
+    *,
+    seed: int | np.random.Generator | None = None,
+    drop_violators: bool = True,
+) -> MUCAAllocation:
+    """Randomized rounding of the fractional auction LP."""
+    if not 0.0 < float(epsilon) < 1.0:
+        raise ValueError("epsilon must lie in (0, 1)")
+    rng = ensure_rng(seed)
+    start = time.perf_counter()
+
+    lp = solve_fractional_muca(instance)
+    residual = instance.multiplicities.copy()
+    winners: list[int] = []
+    for idx, bid in enumerate(instance.bids):
+        probability = (1.0 - float(epsilon)) * float(np.clip(lp.fractions[idx], 0.0, 1.0))
+        if rng.random() >= probability:
+            continue
+        ids = np.asarray(bid.bundle, dtype=np.int64)
+        if drop_violators and np.any(residual[ids] + 1e-12 < 1.0):
+            continue
+        residual[ids] -= 1.0
+        winners.append(idx)
+
+    stats = RunStats(
+        iterations=instance.num_bids,
+        wall_time_s=time.perf_counter() - start,
+        extra={"lp_objective": lp.objective, "epsilon": float(epsilon)},
+    )
+    return MUCAAllocation(
+        instance=instance,
+        winners=winners,
+        stats=stats,
+        algorithm=f"RandomizedRounding-MUCA(eps={float(epsilon):g})",
+    )

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: monotone primal-dual algorithms.
+
+* :func:`~repro.core.bounded_ufp.bounded_ufp` — Algorithm 1 (``Bounded-UFP``),
+  the monotone deterministic ``(1+eps) e/(e-1)``-approximation for the
+  ``Omega(ln m / eps^2)``-bounded unsplittable flow problem.
+* :func:`~repro.core.bounded_muca.bounded_muca` — Algorithm 2
+  (``Bounded-MUCA``), the specialization to single-minded multi-unit
+  combinatorial auctions.
+* :func:`~repro.core.bounded_ufp_repeat.bounded_ufp_repeat` — Algorithm 3
+  (``Bounded-UFP-Repeat``), the ``(1+eps)``-approximation for the variant
+  with repetitions.
+* :mod:`repro.core.dual_state` — the exponential dual-weight state machine
+  shared by all three.
+* :mod:`repro.core.reasonable` — the *reasonable iterative path/bundle
+  minimizing algorithm* framework of Definitions 3.9/3.10 and 4.3/4.4, used
+  to reproduce the lower bounds of Theorems 3.11, 3.12 and 4.5.
+"""
+
+from repro.core.dual_state import DualWeights
+from repro.core.bounded_ufp import bounded_ufp, recommended_epsilon
+from repro.core.bounded_muca import bounded_muca
+from repro.core.bounded_ufp_repeat import bounded_ufp_repeat
+from repro.core.reasonable import (
+    BoundedUFPPriority,
+    HopBiasedPriority,
+    ProductPriority,
+    UnitCapacityPriority,
+    ReasonableIterativePathMinimizer,
+    ReasonableIterativeBundleMinimizer,
+    BundlePriority,
+    staircase_tie_break,
+    ring7_tie_break,
+    partition_tie_break,
+)
+
+__all__ = [
+    "DualWeights",
+    "bounded_ufp",
+    "recommended_epsilon",
+    "bounded_muca",
+    "bounded_ufp_repeat",
+    "BoundedUFPPriority",
+    "HopBiasedPriority",
+    "ProductPriority",
+    "UnitCapacityPriority",
+    "ReasonableIterativePathMinimizer",
+    "ReasonableIterativeBundleMinimizer",
+    "BundlePriority",
+    "staircase_tie_break",
+    "ring7_tie_break",
+    "partition_tie_break",
+]

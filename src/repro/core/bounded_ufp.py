@@ -1,0 +1,219 @@
+"""Algorithm 1 of the paper: ``Bounded-UFP``.
+
+The algorithm is a deterministic primal-dual iterative path minimizer:
+
+1. initialize the dual weights ``y_e = 1 / c_e``;
+2. while some request is unhandled and the dual budget
+   ``sum_e c_e y_e`` is at most ``e^{eps (B - 1)}``:
+
+   a. compute, for every unhandled request ``r``, the shortest ``s_r -> t_r``
+      path ``p_r`` under the weights ``y``;
+   b. select the request minimizing the *normalized length*
+      ``(d_r / v_r) * |p_r|`` (the most violated dual constraint);
+   c. multiply ``y_e`` by ``exp(eps B d_r / c_e)`` along the selected path,
+      record the (request, path) pair and drop the request from the pool.
+
+Theorem 3.1: with ``eps/6`` in place of ``eps`` this is a feasible
+``(1 + eps) e/(e-1)``-approximation for the ``ln(m)/eps^2``-bounded problem,
+monotone and exact with respect to every request's ``(demand, value)`` —
+hence (Theorem 2.3) it induces a truthful mechanism, implemented in
+:mod:`repro.mechanism.truthful`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import warnings
+from typing import Literal
+
+from repro.core.dual_state import DualWeights
+from repro.exceptions import CapacityBoundError, InvalidInstanceError
+from repro.flows.allocation import Allocation, RoutedRequest
+from repro.flows.instance import UFPInstance
+from repro.graphs.shortest_path import single_source_dijkstra
+from repro.types import RunStats
+
+__all__ = ["bounded_ufp", "recommended_epsilon"]
+
+CapacityCheck = Literal["ignore", "warn", "strict"]
+
+
+def recommended_epsilon(target_epsilon: float) -> float:
+    """The algorithm parameter Theorem 3.1 prescribes for a target accuracy.
+
+    Running ``Bounded-UFP(eps/6)`` yields a ``(1 + eps) e/(e-1)`` guarantee,
+    so the recommended internal parameter is ``target_epsilon / 6``.
+    """
+    if not 0.0 < target_epsilon <= 1.0:
+        raise ValueError("target_epsilon must lie in (0, 1]")
+    return target_epsilon / 6.0
+
+
+def _check_capacity_assumption(
+    instance: UFPInstance, epsilon: float, mode: CapacityCheck
+) -> None:
+    if mode == "ignore":
+        return
+    if instance.meets_capacity_assumption(epsilon):
+        return
+    needed = math.log(max(instance.num_edges, 2)) / (epsilon * epsilon)
+    message = (
+        f"instance has B = {instance.capacity_bound():.3g} but Theorem 3.1 requires "
+        f"B >= ln(m)/eps^2 = {needed:.3g} for eps = {epsilon:g}; the approximation "
+        "guarantee does not apply (feasibility is still enforced by the stopping rule)"
+    )
+    if mode == "strict":
+        raise CapacityBoundError(message)
+    warnings.warn(message, stacklevel=3)
+
+
+def bounded_ufp(
+    instance: UFPInstance,
+    epsilon: float,
+    *,
+    capacity_check: CapacityCheck = "ignore",
+    max_iterations: int | None = None,
+) -> Allocation:
+    """Run ``Bounded-UFP(epsilon)`` (Algorithm 1) on ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        The B-bounded UFP instance.  Demands must lie in ``(0, 1]`` (the
+        paper's normalized form); call :meth:`UFPInstance.normalized` first
+        for raw instances.
+    epsilon:
+        The accuracy parameter of Algorithm 1, in ``(0, 1]``.  To hit a
+        target guarantee of ``(1 + eps) e/(e-1)`` pass
+        :func:`recommended_epsilon(eps) <recommended_epsilon>`.
+    capacity_check:
+        How to treat instances that do not satisfy ``B >= ln(m)/eps^2``:
+        ``"ignore"`` (default — run anyway, the output is always feasible),
+        ``"warn"`` or ``"strict"`` (raise
+        :class:`~repro.exceptions.CapacityBoundError`).
+    max_iterations:
+        Optional hard cap on iterations (the natural bound is ``|R|``).
+
+    Returns
+    -------
+    Allocation
+        The selected (request, path) pairs in selection order, with run
+        statistics.  The allocation is always feasible (Lemma 3.3).
+
+    Notes
+    -----
+    *Determinism and tie-breaking*: ties in the normalized length are broken
+    by request index (declaration order), and the shortest path returned by
+    Dijkstra is itself deterministic.  The tie-break does not depend on the
+    demands or values, which keeps the algorithm monotone.
+
+    *Complexity*: at most ``|R|`` iterations, each performing one Dijkstra
+    per distinct source among the unhandled requests, i.e. ``O(|R|)``
+    shortest-path computations per iteration as in the paper's analysis.
+    """
+    if not 0.0 < float(epsilon) <= 1.0:
+        raise ValueError("epsilon must lie in (0, 1]")
+    if instance.num_edges == 0:
+        raise InvalidInstanceError("Bounded-UFP requires a graph with at least one edge")
+    if instance.num_requests and instance.max_demand > 1.0 + 1e-12:
+        raise InvalidInstanceError(
+            "Bounded-UFP expects demands normalized to (0, 1]; call "
+            "UFPInstance.normalized() first"
+        )
+    _check_capacity_assumption(instance, float(epsilon), capacity_check)
+
+    graph = instance.graph
+    start = time.perf_counter()
+    duals = DualWeights(graph.capacities, float(epsilon))
+
+    # L: indices of unhandled requests; requests with no s-t path at all can
+    # never be selected and are dropped from the pool once detected so they
+    # do not trigger repeated Dijkstra work.
+    pool: set[int] = set(range(instance.num_requests))
+    routed: list[RoutedRequest] = []
+    iterations = 0
+    sp_calls = 0
+    stopped_by_budget = False
+    iteration_cap = max_iterations if max_iterations is not None else instance.num_requests
+
+    while pool and iterations < iteration_cap:
+        # Line 5: the stopping rule on the dual budget.
+        if not duals.within_budget:
+            stopped_by_budget = True
+            break
+
+        # Lines 6-9: shortest path for every unhandled request, then select
+        # the request with minimal normalized length d_r / v_r * |p_r|.
+        weights = duals.weights
+        by_source: dict[int, list[int]] = {}
+        for idx in pool:
+            by_source.setdefault(instance.requests[idx].source, []).append(idx)
+
+        best_idx = -1
+        best_score = math.inf
+        best_path: tuple[tuple[int, ...], tuple[int, ...]] | None = None
+        unreachable: list[int] = []
+        for source in sorted(by_source):
+            idxs = by_source[source]
+            targets = {instance.requests[i].target for i in idxs}
+            tree = single_source_dijkstra(graph, source, weights, targets=targets)
+            sp_calls += 1
+            for i in sorted(idxs):
+                req = instance.requests[i]
+                if not tree.reachable(req.target):
+                    unreachable.append(i)
+                    continue
+                score = req.demand / req.value * tree.distance(req.target)
+                if score < best_score - 1e-15 or (
+                    abs(score - best_score) <= 1e-15 and i < best_idx
+                ):
+                    best_score = score
+                    best_idx = i
+                    best_path = tree.path_to(req.target)
+
+        for i in unreachable:
+            pool.discard(i)
+        if best_idx < 0:
+            # No unhandled request is routable (disconnected terminals).
+            break
+
+        request = instance.requests[best_idx]
+        vertices, edge_ids = best_path  # type: ignore[misc]
+
+        # Line 10: exponential weight update along the selected path.
+        duals.apply_selection(edge_ids, request.demand)
+        # Line 11: record the selection and remove the request from the pool.
+        routed.append(
+            RoutedRequest(
+                request_index=best_idx,
+                request=request,
+                vertices=vertices,
+                edge_ids=edge_ids,
+                copies=1,
+            )
+        )
+        pool.discard(best_idx)
+        iterations += 1
+
+    if pool and not stopped_by_budget and not duals.within_budget:
+        stopped_by_budget = True
+
+    stats = RunStats(
+        iterations=iterations,
+        shortest_path_calls=sp_calls,
+        stopped_by_budget=stopped_by_budget,
+        wall_time_s=time.perf_counter() - start,
+        extra={
+            "final_dual_budget": duals.budget,
+            "dual_budget_limit": duals.budget_limit,
+            "epsilon": float(epsilon),
+            "capacity_bound": duals.capacity_bound,
+        },
+    )
+    return Allocation(
+        instance=instance,
+        routed=routed,
+        stats=stats,
+        algorithm=f"Bounded-UFP(eps={float(epsilon):g})",
+    )

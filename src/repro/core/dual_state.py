@@ -1,0 +1,162 @@
+"""The exponential dual-weight state shared by the primal-dual algorithms.
+
+All three algorithms of the paper maintain a dual variable ``y_e`` per edge
+(or ``y_u`` per item), initialized to ``1 / c_e`` and multiplied by
+``exp(eps * B * d / c_e)`` whenever a request of demand ``d`` is routed
+through ``e``.  The budget ``sum_e c_e y_e`` doubles as the stopping rule:
+once it exceeds ``e^{eps (B - 1)}`` the algorithm stops, and the feasibility
+proof (Lemma 3.3) shows no capacity can have been violated before that point.
+
+Keeping this state in one place lets ``Bounded-UFP``, ``Bounded-MUCA`` and
+``Bounded-UFP-Repeat`` share the exact arithmetic (and lets tests probe the
+analysis invariants — Claims 3.6 and 3.7 — on live runs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DualWeights"]
+
+
+class DualWeights:
+    """Mutable dual-weight vector ``y`` over edges (or items).
+
+    Parameters
+    ----------
+    capacities:
+        The per-edge capacities ``c_e`` (per-item multiplicities for MUCA).
+    epsilon:
+        The accuracy parameter of the algorithm.
+    capacity_bound:
+        ``B``: when ``None`` it defaults to ``min(capacities)``, which is the
+        paper's definition for normalized demands.
+
+    Notes
+    -----
+    The budget ``sum_e c_e y_e`` is maintained incrementally in O(path
+    length) per update rather than recomputed in O(m); a full recomputation
+    is available through :meth:`recompute_budget` and the two are compared in
+    the property tests to guard against drift.
+    """
+
+    __slots__ = ("_capacities", "_epsilon", "_B", "_y", "_budget", "_updates")
+
+    def __init__(
+        self,
+        capacities: np.ndarray | Sequence[float],
+        epsilon: float,
+        *,
+        capacity_bound: float | None = None,
+    ) -> None:
+        capacities = np.asarray(capacities, dtype=np.float64)
+        if capacities.ndim != 1 or capacities.size == 0:
+            raise ValueError("capacities must be a non-empty 1-D array")
+        if np.any(capacities <= 0):
+            raise ValueError("capacities must be positive")
+        if not 0.0 < float(epsilon) <= 1.0:
+            raise ValueError("epsilon must lie in (0, 1]")
+        self._capacities = capacities
+        self._epsilon = float(epsilon)
+        self._B = float(capacity_bound) if capacity_bound is not None else float(capacities.min())
+        if self._B <= 0:
+            raise ValueError("capacity bound B must be positive")
+        # Line 4 of Algorithm 1: y_e = 1 / c_e.
+        self._y = 1.0 / capacities
+        self._budget = float(self._capacities @ self._y)  # equals m initially
+        self._updates = 0
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+    @property
+    def weights(self) -> np.ndarray:
+        """The current dual weights ``y`` (read-only view)."""
+        view = self._y.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def capacity_bound(self) -> float:
+        """``B`` as used in the update exponent and the stopping rule."""
+        return self._B
+
+    @property
+    def budget(self) -> float:
+        """``sum_e c_e y_e`` — the first part of the dual objective, D1."""
+        return self._budget
+
+    @property
+    def budget_limit(self) -> float:
+        """The stopping threshold ``e^{eps (B - 1)}`` of line 5 / line 3."""
+        return math.exp(self._epsilon * (self._B - 1.0))
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the main loop is still allowed to run another iteration."""
+        return self._budget <= self.budget_limit
+
+    @property
+    def num_updates(self) -> int:
+        """Number of weight-update operations applied so far."""
+        return self._updates
+
+    def weight_of(self, index: int) -> float:
+        return float(self._y[index])
+
+    def path_length(self, edge_ids: Sequence[int]) -> float:
+        """``sum_{e in p} y_e`` for a path/bundle given by edge ids."""
+        if len(edge_ids) == 0:
+            return 0.0
+        return float(self._y[np.asarray(edge_ids, dtype=np.int64)].sum())
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def apply_selection(self, edge_ids: Sequence[int], demand: float) -> None:
+        """Apply line 10 of Algorithm 1: ``y_e *= exp(eps B d / c_e)`` for
+        every edge of the selected path (or every item of the bundle with
+        ``demand = 1`` for MUCA)."""
+        if demand <= 0:
+            raise ValueError("demand must be positive")
+        # Paths are simple and bundles are sets, so ids are normally distinct;
+        # de-duplicating here keeps the incremental budget correct even for
+        # callers that pass repeated ids.
+        ids = np.unique(np.asarray(edge_ids, dtype=np.int64))
+        if ids.size == 0:
+            return
+        caps = self._capacities[ids]
+        old = self._y[ids]
+        new = old * np.exp(self._epsilon * self._B * float(demand) / caps)
+        self._y[ids] = new
+        self._budget += float(caps @ (new - old))
+        self._updates += 1
+
+    def recompute_budget(self) -> float:
+        """Recompute ``sum_e c_e y_e`` from scratch (used to verify the
+        incremental bookkeeping in tests)."""
+        return float(self._capacities @ self._y)
+
+    def copy(self) -> "DualWeights":
+        """A deep copy (used when exploring hypothetical selections)."""
+        clone = DualWeights.__new__(DualWeights)
+        clone._capacities = self._capacities
+        clone._epsilon = self._epsilon
+        clone._B = self._B
+        clone._y = self._y.copy()
+        clone._budget = self._budget
+        clone._updates = self._updates
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DualWeights(m={self._y.size}, eps={self._epsilon:g}, B={self._B:g}, "
+            f"budget={self._budget:.6g}/{self.budget_limit:.6g})"
+        )

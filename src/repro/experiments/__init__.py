@@ -1,0 +1,38 @@
+"""Experiment harness: one experiment per quantitative claim of the paper.
+
+The paper is a theory paper, so its "tables and figures" are theorems, LP
+formulations and worked adversarial instances.  Each becomes an experiment
+(E1–E9, see DESIGN.md section 3) that measures the corresponding quantity on
+concrete instances and prints the rows recorded in EXPERIMENTS.md.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments run E1 --quick
+    python -m repro.experiments run all
+
+or from code::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("E2", quick=True)
+    print(result.table.render())
+"""
+
+from repro.experiments.harness import ExperimentResult, ratio
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+    run_all,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ratio",
+    "EXPERIMENTS",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

@@ -1,0 +1,36 @@
+"""Unsplittable-flow instance model: requests, instances, allocations.
+
+The B-bounded unsplittable flow problem of the paper is represented by a
+:class:`~repro.flows.instance.UFPInstance` — a capacitated graph plus a list
+of :class:`~repro.flows.request.Request` objects ``(s_r, t_r, d_r, v_r)``.
+Solutions are :class:`~repro.flows.allocation.Allocation` objects mapping
+selected requests to simple paths, with feasibility checking against the
+edge capacities.
+"""
+
+from repro.flows.request import Request, normalize_requests
+from repro.flows.instance import UFPInstance
+from repro.flows.allocation import Allocation, RoutedRequest, edge_loads
+from repro.flows.generators import (
+    random_requests,
+    random_instance,
+    hotspot_instance,
+    staircase_instance,
+    ring7_instance,
+    isp_instance,
+)
+
+__all__ = [
+    "Request",
+    "normalize_requests",
+    "UFPInstance",
+    "Allocation",
+    "RoutedRequest",
+    "edge_loads",
+    "random_requests",
+    "random_instance",
+    "hotspot_instance",
+    "staircase_instance",
+    "ring7_instance",
+    "isp_instance",
+]

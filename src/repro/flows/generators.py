@@ -1,0 +1,281 @@
+"""Workload generators for the unsplittable flow experiments.
+
+Random workloads draw request terminals, demands and values from simple
+distributions over a given topology; the adversarial workloads wrap the
+Figure 2 / Figure 3 constructions of :mod:`repro.graphs.lower_bounds` into
+ready-to-run :class:`~repro.flows.instance.UFPInstance` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.flows.instance import UFPInstance
+from repro.flows.request import Request
+from repro.graphs import generators as graph_generators
+from repro.graphs import lower_bounds
+from repro.graphs.graph import CapacitatedGraph
+from repro.utils.prng import ensure_rng
+
+__all__ = [
+    "random_requests",
+    "random_instance",
+    "hotspot_instance",
+    "staircase_instance",
+    "ring7_instance",
+    "isp_instance",
+]
+
+
+def random_requests(
+    graph: CapacitatedGraph,
+    num_requests: int,
+    *,
+    demand_range: tuple[float, float] = (0.1, 1.0),
+    value_range: tuple[float, float] = (0.5, 2.0),
+    value_proportional_to_demand: bool = False,
+    seed: int | np.random.Generator | None = None,
+    sources: Sequence[int] | None = None,
+    targets: Sequence[int] | None = None,
+) -> list[Request]:
+    """Draw ``num_requests`` random requests over ``graph``.
+
+    Parameters
+    ----------
+    demand_range:
+        Uniform range for demands; the default keeps demands in ``(0, 1]`` so
+        ``B`` equals the minimum edge capacity.
+    value_range:
+        Uniform range for values, or — when ``value_proportional_to_demand``
+        is set — the range of the value *density* so that
+        ``v_r = density * d_r``.
+    sources, targets:
+        Optional vertex pools to draw terminals from (defaults to all
+        vertices).  Source and target of one request are always distinct.
+    """
+    if num_requests < 0:
+        raise InvalidInstanceError("num_requests must be non-negative")
+    d_lo, d_hi = float(demand_range[0]), float(demand_range[1])
+    v_lo, v_hi = float(value_range[0]), float(value_range[1])
+    if not 0 < d_lo <= d_hi:
+        raise InvalidInstanceError(f"invalid demand range {demand_range!r}")
+    if not 0 < v_lo <= v_hi:
+        raise InvalidInstanceError(f"invalid value range {value_range!r}")
+    rng = ensure_rng(seed)
+
+    source_pool = np.asarray(
+        sources if sources is not None else np.arange(graph.num_vertices), dtype=np.int64
+    )
+    target_pool = np.asarray(
+        targets if targets is not None else np.arange(graph.num_vertices), dtype=np.int64
+    )
+    if source_pool.size == 0 or target_pool.size == 0:
+        raise InvalidInstanceError("source/target pools must be non-empty")
+
+    requests: list[Request] = []
+    while len(requests) < num_requests:
+        s = int(rng.choice(source_pool))
+        t = int(rng.choice(target_pool))
+        if s == t:
+            continue
+        d = float(rng.uniform(d_lo, d_hi))
+        if value_proportional_to_demand:
+            v = float(rng.uniform(v_lo, v_hi)) * d
+        else:
+            v = float(rng.uniform(v_lo, v_hi))
+        requests.append(Request(s, t, d, v, name=f"r{len(requests)}"))
+    return requests
+
+
+def random_instance(
+    *,
+    num_vertices: int = 20,
+    edge_probability: float = 0.25,
+    capacity: float = 60.0,
+    num_requests: int = 80,
+    directed: bool = True,
+    demand_range: tuple[float, float] = (0.1, 1.0),
+    value_range: tuple[float, float] = (0.5, 2.0),
+    value_proportional_to_demand: bool = False,
+    seed: int | np.random.Generator | None = None,
+    name: str = "random",
+) -> UFPInstance:
+    """A random large-capacity UFP instance on a random (di)graph.
+
+    The default capacity of 60 with up to unit demands gives ``B = 60``,
+    which satisfies ``B >= ln(m)/eps^2`` for ``eps ~ 0.3`` on graphs with a
+    few hundred edges — the regime Theorem 3.1 addresses.
+    """
+    rng = ensure_rng(seed)
+    if directed:
+        graph = graph_generators.random_digraph(
+            num_vertices, edge_probability, capacity, seed=rng
+        )
+    else:
+        graph = graph_generators.random_graph(
+            num_vertices, edge_probability, capacity, seed=rng
+        )
+    requests = random_requests(
+        graph,
+        num_requests,
+        demand_range=demand_range,
+        value_range=value_range,
+        value_proportional_to_demand=value_proportional_to_demand,
+        seed=rng,
+    )
+    return UFPInstance(
+        graph,
+        requests,
+        name=name,
+        metadata={
+            "kind": "random",
+            "num_vertices": num_vertices,
+            "edge_probability": edge_probability,
+            "capacity": capacity,
+            "num_requests": num_requests,
+            "directed": directed,
+        },
+    )
+
+
+def hotspot_instance(
+    *,
+    num_vertices: int = 24,
+    edge_probability: float = 0.2,
+    capacity: float = 50.0,
+    num_requests: int = 100,
+    num_hotspots: int = 3,
+    hotspot_fraction: float = 0.7,
+    seed: int | np.random.Generator | None = None,
+    name: str = "hotspot",
+) -> UFPInstance:
+    """A skewed workload where most requests target a few "hotspot" vertices.
+
+    This models the data-center / content-server traffic pattern: a
+    ``hotspot_fraction`` of requests pick their target uniformly among
+    ``num_hotspots`` designated vertices, which concentrates contention on
+    the edges around those vertices and separates the algorithms more
+    sharply than the uniform workload.
+    """
+    if not 0 < hotspot_fraction <= 1:
+        raise InvalidInstanceError("hotspot_fraction must lie in (0, 1]")
+    if num_hotspots < 1:
+        raise InvalidInstanceError("need at least one hotspot")
+    rng = ensure_rng(seed)
+    graph = graph_generators.random_digraph(num_vertices, edge_probability, capacity, seed=rng)
+    hotspots = rng.choice(num_vertices, size=min(num_hotspots, num_vertices), replace=False)
+
+    hot_count = int(round(hotspot_fraction * num_requests))
+    cold_count = num_requests - hot_count
+    hot = random_requests(graph, hot_count, targets=[int(h) for h in hotspots], seed=rng)
+    cold = random_requests(graph, cold_count, seed=rng)
+    requests = hot + cold
+    for i, req in enumerate(requests):
+        requests[i] = Request(req.source, req.target, req.demand, req.value, name=f"r{i}")
+    return UFPInstance(
+        graph,
+        requests,
+        name=name,
+        metadata={
+            "kind": "hotspot",
+            "hotspots": [int(h) for h in hotspots],
+            "capacity": capacity,
+        },
+    )
+
+
+def isp_instance(
+    *,
+    num_core: int = 6,
+    leaves_per_core: int = 4,
+    core_capacity: float = 80.0,
+    access_capacity: float = 40.0,
+    num_requests: int = 120,
+    seed: int | np.random.Generator | None = None,
+    name: str = "isp",
+) -> UFPInstance:
+    """Bandwidth-auction workload on the two-level ISP topology.
+
+    Requests originate at access leaves and terminate at other access leaves,
+    so every routing path crosses the backbone — the scenario in which an ISP
+    would auction bandwidth to selfish customers, i.e. the paper's motivating
+    application of a truthful UFP mechanism.
+    """
+    rng = ensure_rng(seed)
+    graph = graph_generators.isp_topology(
+        num_core, leaves_per_core, core_capacity, access_capacity, seed=rng
+    )
+    leaves = list(range(num_core, graph.num_vertices))
+    if len(leaves) < 2:
+        raise InvalidInstanceError("ISP instance needs at least 2 access leaves")
+    requests = random_requests(
+        graph,
+        num_requests,
+        sources=leaves,
+        targets=leaves,
+        value_proportional_to_demand=True,
+        value_range=(0.8, 3.0),
+        seed=rng,
+    )
+    return UFPInstance(
+        graph,
+        requests,
+        name=name,
+        metadata={"kind": "isp", "num_core": num_core, "leaves_per_core": leaves_per_core},
+    )
+
+
+def staircase_instance(
+    num_sources: int, capacity: int, *, subdivide: bool = False, name: str = ""
+) -> UFPInstance:
+    """The Figure 2 directed staircase as a ready-to-run instance.
+
+    See :func:`repro.graphs.lower_bounds.directed_staircase`.  The known
+    optimum ``B * ell`` and the reasonable-algorithm upper bound are recorded
+    in the instance metadata for the experiment harness.  With
+    ``subdivide=True`` the tie-elimination variant (edges replaced by paths)
+    is built instead.
+    """
+    graph, quads, layout = lower_bounds.directed_staircase(
+        num_sources, capacity, subdivide=subdivide
+    )
+    metadata = {
+        "kind": "staircase",
+        "ell": int(num_sources),
+        "B": int(capacity),
+        "subdivided": bool(subdivide),
+        "layout": layout,
+        "known_optimum": lower_bounds.staircase_optimal_value(num_sources, capacity),
+        "reasonable_upper_bound": lower_bounds.staircase_reasonable_upper_bound(
+            num_sources, capacity
+        ),
+    }
+    return UFPInstance(
+        graph,
+        quads,
+        name=name
+        or f"staircase(ell={num_sources}, B={capacity}{', subdivided' if subdivide else ''})",
+        metadata=metadata,
+    )
+
+
+def ring7_instance(capacity: int, *, name: str = "") -> UFPInstance:
+    """The Figure 3 undirected 7-vertex instance as a ready-to-run instance."""
+    graph, quads, layout = lower_bounds.undirected_ring7(capacity)
+    metadata = {
+        "kind": "ring7",
+        "B": int(capacity),
+        "layout": layout,
+        "known_optimum": lower_bounds.ring7_optimal_value(capacity),
+        "reasonable_upper_bound": lower_bounds.ring7_reasonable_upper_bound(capacity),
+    }
+    return UFPInstance(
+        graph,
+        quads,
+        name=name or f"ring7(B={capacity})",
+        metadata=metadata,
+    )

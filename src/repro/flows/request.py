@@ -1,0 +1,134 @@
+"""Connection requests.
+
+A request ``r`` is the quadruple ``(s_r, t_r, d_r, v_r)`` of the paper: a
+source vertex, a target vertex, a positive demand ``d_r`` (normalized to lie
+in ``(0, 1]`` in the B-bounded formulation) and a positive value ``v_r``.
+
+In the mechanism-design setting the *type* of a request — the part a selfish
+agent may lie about — is the pair ``(d_r, v_r)``; the terminals are public
+knowledge.  :meth:`Request.with_type` produces the declared-type variant used
+throughout the mechanism layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.exceptions import InvalidRequestError
+from repro.utils.validation import check_positive
+
+__all__ = ["Request", "normalize_requests"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """A single unsplittable-flow connection request.
+
+    Attributes
+    ----------
+    source, target:
+        The public terminal vertices ``s_r`` and ``t_r``.
+    demand:
+        The (declared) demand ``d_r``; must be positive.  In the B-bounded
+        formulation demands are normalized to ``(0, 1]`` but the class does
+        not enforce the upper bound — :class:`~repro.flows.instance.UFPInstance`
+        checks it where it matters.
+    value:
+        The (declared) value ``v_r``; must be positive.
+    name:
+        Optional identifier used in reports; defaults to the empty string.
+    """
+
+    source: int
+    target: int
+    demand: float
+    value: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "source", int(self.source))
+        object.__setattr__(self, "target", int(self.target))
+        object.__setattr__(self, "demand", check_positive(self.demand, "demand"))
+        object.__setattr__(self, "value", check_positive(self.value, "value"))
+        if self.source == self.target:
+            raise InvalidRequestError(
+                f"request {self.name or ''!r} has identical source and target "
+                f"{self.source}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Type manipulation (mechanism design)
+    # ------------------------------------------------------------------ #
+    @property
+    def type(self) -> tuple[float, float]:
+        """The agent-controlled type ``(demand, value)``."""
+        return (self.demand, self.value)
+
+    @property
+    def density(self) -> float:
+        """Value per unit of demand, ``v_r / d_r``."""
+        return self.value / self.demand
+
+    def with_type(self, demand: float | None = None, value: float | None = None) -> "Request":
+        """Return a copy with the declared demand and/or value replaced.
+
+        The terminals and name are preserved; this is the canonical way the
+        mechanism layer builds misreported declarations.
+        """
+        return replace(
+            self,
+            demand=self.demand if demand is None else demand,
+            value=self.value if value is None else value,
+        )
+
+    def with_value(self, value: float) -> "Request":
+        """Return a copy with the declared value replaced."""
+        return self.with_type(value=value)
+
+    def with_demand(self, demand: float) -> "Request":
+        """Return a copy with the declared demand replaced."""
+        return self.with_type(demand=demand)
+
+    def dominates_type_of(self, other: "Request") -> bool:
+        """True when this declaration is at least as strong as ``other``'s:
+        same terminals, demand no larger and value no smaller.
+
+        Monotonicity (Definition 2.1) states that if an algorithm selects
+        ``other`` then it must also select any request whose declaration
+        dominates it.
+        """
+        return (
+            self.source == other.source
+            and self.target == other.target
+            and self.demand <= other.demand + 1e-15
+            and self.value >= other.value - 1e-15
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"{self.name}: " if self.name else ""
+        return (
+            f"{label}{self.source}->{self.target} "
+            f"(d={self.demand:g}, v={self.value:g})"
+        )
+
+
+def normalize_requests(requests: Iterable[Request | Sequence[float]]) -> list[Request]:
+    """Coerce an iterable of requests or ``(s, t, d, v)`` tuples to
+    :class:`Request` objects, assigning positional names ``r0, r1, ...`` to
+    unnamed ones."""
+    normalized: list[Request] = []
+    for idx, item in enumerate(requests):
+        if isinstance(item, Request):
+            req = item
+        else:
+            seq = tuple(item)
+            if len(seq) != 4:
+                raise InvalidRequestError(
+                    f"request tuples must be (source, target, demand, value); got {seq!r}"
+                )
+            req = Request(int(seq[0]), int(seq[1]), float(seq[2]), float(seq[3]))
+        if not req.name:
+            req = replace(req, name=f"r{idx}")
+        normalized.append(req)
+    return normalized

@@ -1,0 +1,14 @@
+"""Combinatorial fractional solvers.
+
+The paper contrasts the integral problem with its fractional relaxation,
+which "admits a (1+eps)-approximate solution by combinatorial algorithms"
+(Garg–Könemann / Fleischer).  :mod:`repro.fractional.garg_konemann`
+implements that multiplicative-weights FPTAS for the path-packing LP of
+Figure 1 (and, with ``repetitions=True``, of Figure 5), providing an
+LP-solver-free upper-bound oracle and the fractional-vs-integral contrast
+used in the experiments.
+"""
+
+from repro.fractional.garg_konemann import GargKonemannResult, garg_konemann_fractional_ufp
+
+__all__ = ["GargKonemannResult", "garg_konemann_fractional_ufp"]

@@ -1,0 +1,284 @@
+"""Graph generators: random, grid, ring and ISP-like topologies.
+
+These provide the synthetic workload topologies for the experiments.  All of
+them take a uniform ``capacity`` (or a capacity range) so that the capacity
+bound ``B = min_e c_e`` of the generated instance is easy to control — the
+paper's algorithms require ``B = Omega(ln m / eps^2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.graph import CapacitatedGraph
+from repro.utils.prng import ensure_rng
+
+__all__ = [
+    "random_digraph",
+    "random_graph",
+    "grid_graph",
+    "ring_graph",
+    "isp_topology",
+    "from_networkx",
+    "to_networkx",
+]
+
+
+def _capacity_array(
+    rng: np.random.Generator,
+    count: int,
+    capacity: float | tuple[float, float],
+) -> np.ndarray:
+    """Draw ``count`` capacities, either constant or uniform in a range."""
+    if isinstance(capacity, tuple):
+        low, high = float(capacity[0]), float(capacity[1])
+        if not 0 < low <= high:
+            raise InvalidInstanceError(f"invalid capacity range ({low}, {high})")
+        return rng.uniform(low, high, size=count)
+    value = float(capacity)
+    if value <= 0:
+        raise InvalidInstanceError("capacity must be positive")
+    return np.full(count, value, dtype=np.float64)
+
+
+def random_digraph(
+    num_vertices: int,
+    edge_probability: float,
+    capacity: float | tuple[float, float],
+    *,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = True,
+) -> CapacitatedGraph:
+    """Random directed graph in the Erdős–Rényi ``G(n, p)`` style.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.
+    edge_probability:
+        Probability of each ordered pair ``(u, v)``, ``u != v``, being an arc.
+    capacity:
+        Either a constant capacity or a ``(low, high)`` range sampled
+        uniformly per edge.
+    ensure_connected:
+        When ``True`` a directed Hamiltonian cycle over a random vertex
+        permutation is added first, so every ordered pair has at least one
+        connecting path; random arcs are then added on top.  This keeps
+        request generation simple (any source/target pair is routable).
+    """
+    if num_vertices < 2:
+        raise InvalidInstanceError("random_digraph needs at least 2 vertices")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise InvalidInstanceError("edge_probability must lie in [0, 1]")
+    rng = ensure_rng(seed)
+
+    existing: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+
+    if ensure_connected:
+        perm = rng.permutation(num_vertices)
+        for i in range(num_vertices):
+            u = int(perm[i])
+            v = int(perm[(i + 1) % num_vertices])
+            edges.append((u, v))
+            existing.add((u, v))
+
+    mask = rng.random((num_vertices, num_vertices)) < edge_probability
+    np.fill_diagonal(mask, False)
+    for u, v in zip(*np.nonzero(mask)):
+        pair = (int(u), int(v))
+        if pair not in existing:
+            existing.add(pair)
+            edges.append(pair)
+
+    caps = _capacity_array(rng, len(edges), capacity)
+    return CapacitatedGraph(
+        num_vertices,
+        [(u, v, float(c)) for (u, v), c in zip(edges, caps)],
+        directed=True,
+    )
+
+
+def random_graph(
+    num_vertices: int,
+    edge_probability: float,
+    capacity: float | tuple[float, float],
+    *,
+    seed: int | np.random.Generator | None = None,
+    ensure_connected: bool = True,
+) -> CapacitatedGraph:
+    """Random undirected graph in the ``G(n, p)`` style.
+
+    Mirrors :func:`random_digraph`; connectivity is ensured with a random
+    spanning cycle.
+    """
+    if num_vertices < 2:
+        raise InvalidInstanceError("random_graph needs at least 2 vertices")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise InvalidInstanceError("edge_probability must lie in [0, 1]")
+    rng = ensure_rng(seed)
+
+    existing: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+
+    if ensure_connected:
+        perm = rng.permutation(num_vertices)
+        for i in range(num_vertices):
+            u = int(perm[i])
+            v = int(perm[(i + 1) % num_vertices])
+            key = (min(u, v), max(u, v))
+            if key not in existing:
+                existing.add(key)
+                edges.append(key)
+
+    mask = rng.random((num_vertices, num_vertices)) < edge_probability
+    iu = np.triu_indices(num_vertices, k=1)
+    for u, v in zip(iu[0][mask[iu]], iu[1][mask[iu]]):
+        key = (int(u), int(v))
+        if key not in existing:
+            existing.add(key)
+            edges.append(key)
+
+    caps = _capacity_array(rng, len(edges), capacity)
+    return CapacitatedGraph(
+        num_vertices,
+        [(u, v, float(c)) for (u, v), c in zip(edges, caps)],
+        directed=False,
+    )
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    capacity: float | tuple[float, float],
+    *,
+    directed: bool = False,
+    seed: int | np.random.Generator | None = None,
+) -> CapacitatedGraph:
+    """A ``rows x cols`` mesh; vertex ``(i, j)`` has index ``i * cols + j``.
+
+    When ``directed`` is True each mesh edge becomes two opposite arcs (each
+    with its own capacity draw), which models full-duplex links.
+    """
+    if rows < 1 or cols < 1:
+        raise InvalidInstanceError("grid dimensions must be positive")
+    rng = ensure_rng(seed)
+    undirected_edges: list[tuple[int, int]] = []
+    for i in range(rows):
+        for j in range(cols):
+            v = i * cols + j
+            if j + 1 < cols:
+                undirected_edges.append((v, v + 1))
+            if i + 1 < rows:
+                undirected_edges.append((v, v + cols))
+    if directed:
+        pairs = [(u, v) for u, v in undirected_edges] + [(v, u) for u, v in undirected_edges]
+    else:
+        pairs = undirected_edges
+    caps = _capacity_array(rng, len(pairs), capacity)
+    return CapacitatedGraph(
+        rows * cols,
+        [(u, v, float(c)) for (u, v), c in zip(pairs, caps)],
+        directed=directed,
+    )
+
+
+def ring_graph(
+    num_vertices: int,
+    capacity: float,
+    *,
+    directed: bool = False,
+) -> CapacitatedGraph:
+    """A simple cycle on ``num_vertices`` vertices with uniform capacity."""
+    if num_vertices < 3:
+        raise InvalidInstanceError("a ring needs at least 3 vertices")
+    edges = [
+        (i, (i + 1) % num_vertices, float(capacity)) for i in range(num_vertices)
+    ]
+    return CapacitatedGraph(num_vertices, edges, directed=directed)
+
+
+def isp_topology(
+    num_core: int,
+    leaves_per_core: int,
+    core_capacity: float,
+    access_capacity: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+) -> CapacitatedGraph:
+    """A two-level ISP-like topology: a dense core plus access trees.
+
+    Core vertices ``0 .. num_core-1`` form a complete graph with
+    ``core_capacity`` links; each core vertex additionally serves
+    ``leaves_per_core`` access vertices through ``access_capacity`` links.
+    This is the "network routing" scenario the paper's introduction
+    motivates: many small customers (access leaves) requesting bandwidth
+    across a well-provisioned backbone.
+    """
+    if num_core < 2:
+        raise InvalidInstanceError("need at least 2 core vertices")
+    if leaves_per_core < 0:
+        raise InvalidInstanceError("leaves_per_core must be non-negative")
+    edges: list[tuple[int, int, float]] = []
+    for u in range(num_core):
+        for v in range(u + 1, num_core):
+            edges.append((u, v, float(core_capacity)))
+            if directed:
+                edges.append((v, u, float(core_capacity)))
+    next_vertex = num_core
+    for core in range(num_core):
+        for _ in range(leaves_per_core):
+            edges.append((next_vertex, core, float(access_capacity)))
+            if directed:
+                edges.append((core, next_vertex, float(access_capacity)))
+            next_vertex += 1
+    return CapacitatedGraph(next_vertex, edges, directed=directed)
+
+
+# ---------------------------------------------------------------------- #
+# networkx interoperability
+# ---------------------------------------------------------------------- #
+def from_networkx(
+    nx_graph: "nx.Graph | nx.DiGraph",
+    *,
+    capacity_attr: str = "capacity",
+    default_capacity: float | None = None,
+) -> tuple[CapacitatedGraph, dict]:
+    """Convert a networkx (di)graph into a :class:`CapacitatedGraph`.
+
+    Returns the converted graph and a mapping from original node labels to
+    the integer vertex ids used by the library.
+    """
+    directed = nx_graph.is_directed()
+    nodes = list(nx_graph.nodes())
+    node_index = {node: i for i, node in enumerate(nodes)}
+    edges: list[tuple[int, int, float]] = []
+    for u, v, data in nx_graph.edges(data=True):
+        cap = data.get(capacity_attr, default_capacity)
+        if cap is None:
+            raise InvalidInstanceError(
+                f"edge ({u!r}, {v!r}) has no {capacity_attr!r} attribute and no "
+                "default_capacity was given"
+            )
+        edges.append((node_index[u], node_index[v], float(cap)))
+    graph = CapacitatedGraph(len(nodes), edges, directed=directed)
+    return graph, node_index
+
+
+def to_networkx(graph: CapacitatedGraph) -> "nx.Graph | nx.DiGraph":
+    """Convert a :class:`CapacitatedGraph` to a networkx graph.
+
+    Edge capacities are stored in the ``capacity`` attribute, and the edge id
+    in ``edge_id``.  Parallel edges collapse onto the last one written (use a
+    MultiGraph manually if that matters for your analysis).
+    """
+    nxg: nx.Graph | nx.DiGraph = nx.DiGraph() if graph.directed else nx.Graph()
+    nxg.add_nodes_from(range(graph.num_vertices))
+    for edge in graph.edges():
+        nxg.add_edge(edge.tail, edge.head, capacity=edge.capacity, edge_id=edge.edge_id)
+    return nxg

@@ -1,0 +1,198 @@
+"""The adversarial lower-bound graph constructions of the paper.
+
+Two families are provided:
+
+* :func:`directed_staircase` — the Figure 2 instance behind Theorem 3.11: a
+  directed bipartite-like "staircase" where source vertex ``s_i`` has an arc
+  to every intermediate vertex ``v_j`` with ``j >= i``, every intermediate
+  vertex has an arc to the common target ``t``, and every edge has capacity
+  ``B``.  Requests are ``B`` unit-demand unit-value requests per source.  Any
+  *reasonable iterative path minimizing* algorithm satisfies only a
+  ``1 - (B/(B+1))^B -> 1 - 1/e`` fraction of the optimum on it, which is the
+  source of the ``e/(e-1)`` lower bound.
+* :func:`undirected_ring7` — the Figure 3 instance behind Theorem 3.12: a
+  7-vertex undirected graph on which reasonable iterative path minimizers
+  lose a ``4/3`` factor for *any* capacity ``B``.
+
+Both functions return the graph together with the request quadruples
+``(source, target, demand, value)`` as plain tuples; wrap them in a
+:class:`repro.flows.UFPInstance` with
+:func:`repro.flows.generators.staircase_instance` /
+:func:`repro.flows.generators.ring7_instance`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs.graph import CapacitatedGraph
+
+__all__ = [
+    "directed_staircase",
+    "undirected_ring7",
+    "staircase_optimal_value",
+    "ring7_optimal_value",
+]
+
+RequestQuad = tuple[int, int, float, float]
+
+
+def directed_staircase(
+    num_sources: int,
+    capacity: int,
+    *,
+    subdivide: bool = False,
+) -> tuple[CapacitatedGraph, list[RequestQuad], dict[str, int]]:
+    """Build the Figure 2 directed staircase instance.
+
+    Parameters
+    ----------
+    num_sources:
+        ``ell`` — the number of source vertices ``s_1 .. s_ell`` and also the
+        number of intermediate vertices ``v_1 .. v_ell``.
+    capacity:
+        ``B`` — the uniform edge capacity; also the number of identical
+        ``(s_i, t, 1, 1)`` requests per source.
+    subdivide:
+        When ``True``, every ``s_i -> v_j`` arc is replaced by a directed
+        path with ``i*ell + 1 - j`` edges (1-indexed, as in the proof of
+        Theorem 3.11).  This is the paper's tie-elimination device: any
+        reasonable algorithm prefers paths with fewer edges, so the
+        adversarial schedule is forced without relying on a tie-breaking
+        assumption.  The graph grows to ``O(ell^3)`` edges.
+
+    Returns
+    -------
+    (graph, requests, layout):
+        ``graph`` is the directed capacitated graph; ``requests`` is the list
+        of ``B * ell`` request quadruples; ``layout`` maps the roles
+        (``"source_0"``, ``"intermediate_0"``, ..., ``"target"``) to vertex
+        ids so tests and experiments can reason about the structure.
+
+    Notes
+    -----
+    Vertex numbering: sources are ``0 .. ell-1`` (``s_1 .. s_ell``),
+    intermediates are ``ell .. 2*ell-1`` (``v_1 .. v_ell``), the target ``t``
+    is ``2*ell``; subdivision vertices (if any) come after.  Arcs are
+    ``s_i -> v_j`` for every ``j >= i`` and ``v_j -> t`` for every ``j``, all
+    with capacity ``B``.  Without subdivision the number of edges is
+    ``ell + ell*(ell+1)/2``.
+    """
+    ell = int(num_sources)
+    B = int(capacity)
+    if ell < 1:
+        raise InvalidInstanceError("num_sources must be at least 1")
+    if B < 1:
+        raise InvalidInstanceError("capacity B must be at least 1")
+
+    target = 2 * ell
+    edges: list[tuple[int, int, float]] = []
+    next_vertex = 2 * ell + 1
+    # s_i -> v_j arcs for j >= i (0-indexed; the paper's condition j >= i is
+    # index-shift invariant).
+    for i in range(ell):
+        for j in range(i, ell):
+            if not subdivide:
+                edges.append((i, ell + j, float(B)))
+                continue
+            # Replace the arc by a path with (i+1)*ell + 1 - (j+1) edges
+            # (the paper's i*ell + 1 - j with 1-based indices).
+            length = (i + 1) * ell - j
+            previous = i
+            for hop in range(length - 1):
+                edges.append((previous, next_vertex, float(B)))
+                previous = next_vertex
+                next_vertex += 1
+            edges.append((previous, ell + j, float(B)))
+    # v_j -> t arcs.
+    for j in range(ell):
+        edges.append((ell + j, target, float(B)))
+
+    graph = CapacitatedGraph(next_vertex if subdivide else 2 * ell + 1, edges, directed=True)
+
+    requests: list[RequestQuad] = []
+    for i in range(ell):
+        for _ in range(B):
+            requests.append((i, target, 1.0, 1.0))
+
+    layout = {f"source_{i}": i for i in range(ell)}
+    layout.update({f"intermediate_{j}": ell + j for j in range(ell)})
+    layout["target"] = target
+    return graph, requests, layout
+
+
+def staircase_optimal_value(num_sources: int, capacity: int) -> float:
+    """The optimum of the staircase instance is ``B * ell``: route the
+    ``B`` requests of source ``s_i`` through ``(s_i, v_i, t)``."""
+    return float(int(num_sources) * int(capacity))
+
+
+def staircase_reasonable_upper_bound(num_sources: int, capacity: int) -> float:
+    """Upper bound on what a reasonable iterative path minimizer can achieve
+    on the staircase (Theorem 3.11 analysis, including the integrality slack).
+
+    The bound is ``B * ell * (1 - (B/(B+1))^B) + B^2``: the leading term is
+    the fraction of sources whose requests are ever satisfiable, and the
+    additive ``B^2`` absorbs rounding of the phase lengths.
+    """
+    ell = int(num_sources)
+    B = int(capacity)
+    frac = 1.0 - (B / (B + 1.0)) ** B
+    return B * ell * frac + B * B
+
+
+def undirected_ring7(
+    capacity: int,
+) -> tuple[CapacitatedGraph, list[RequestQuad], dict[str, int]]:
+    """Build the Figure 3 undirected 7-vertex instance (Theorem 3.12).
+
+    The graph has vertices ``v_1 .. v_7`` (ids ``0 .. 6``) and the edges
+
+    ``(v1, v2), (v2, v3)`` — the left "detour" path,
+    ``(v4, v5), (v5, v6)`` — the right "detour" path,
+    ``(v1, v7), (v3, v7), (v4, v7), (v6, v7)`` — the central hub edges,
+
+    all with capacity ``B`` (``B`` must be even so the ``B/2`` phases of the
+    adversarial schedule are integral).  The requests are ``B`` copies each of
+    ``(v1, v3)``, ``(v4, v6)``, ``(v1, v6)`` and ``(v3, v4)``, every one with
+    unit demand and unit value.
+
+    The optimum routes the first two groups around the detours and the last
+    two groups through the hub, for total value ``4B``; any reasonable
+    iterative path minimizer achieves at most ``3B``.
+    """
+    B = int(capacity)
+    if B < 2 or B % 2 != 0:
+        raise InvalidInstanceError("capacity B must be an even integer >= 2")
+
+    # Vertex ids: v1..v7 -> 0..6.
+    v1, v2, v3, v4, v5, v6, v7 = range(7)
+    edges = [
+        (v1, v2, float(B)),
+        (v2, v3, float(B)),
+        (v4, v5, float(B)),
+        (v5, v6, float(B)),
+        (v1, v7, float(B)),
+        (v3, v7, float(B)),
+        (v4, v7, float(B)),
+        (v6, v7, float(B)),
+    ]
+    graph = CapacitatedGraph(7, edges, directed=False)
+
+    requests: list[RequestQuad] = []
+    for s, t in [(v1, v3), (v4, v6), (v1, v6), (v3, v4)]:
+        for _ in range(B):
+            requests.append((s, t, 1.0, 1.0))
+
+    layout = {f"v{i + 1}": i for i in range(7)}
+    return graph, requests, layout
+
+
+def ring7_optimal_value(capacity: int) -> float:
+    """The optimum of the Figure 3 instance is ``4B``."""
+    return 4.0 * int(capacity)
+
+
+def ring7_reasonable_upper_bound(capacity: int) -> float:
+    """A reasonable iterative path minimizer achieves at most ``3B`` on the
+    Figure 3 instance (Theorem 3.12)."""
+    return 3.0 * int(capacity)

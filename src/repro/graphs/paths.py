@@ -1,0 +1,91 @@
+"""Path utilities: edge-id resolution, lengths, simplicity and validation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError, NoPathError
+from repro.graphs.graph import CapacitatedGraph
+
+__all__ = ["path_edge_ids", "path_length", "is_simple_path", "validate_path"]
+
+
+def path_edge_ids(
+    graph: CapacitatedGraph,
+    vertices: Sequence[int],
+    *,
+    weights: np.ndarray | None = None,
+) -> tuple[int, ...]:
+    """Resolve a vertex path to a tuple of edge ids.
+
+    When parallel edges exist between consecutive vertices the cheapest one
+    under ``weights`` is chosen (or the one with the largest capacity when no
+    weights are given), matching what a shortest-path computation would do.
+
+    Raises
+    ------
+    NoPathError
+        If some consecutive pair of vertices is not connected by an edge.
+    """
+    vertices = [int(v) for v in vertices]
+    if len(vertices) < 2:
+        return ()
+    edge_ids: list[int] = []
+    for u, v in zip(vertices[:-1], vertices[1:]):
+        candidates = graph.edge_ids_between(u, v)
+        if not candidates:
+            raise NoPathError(f"no edge between {u} and {v}")
+        if weights is not None:
+            best = min(candidates, key=lambda e: float(weights[e]))
+        else:
+            best = max(candidates, key=graph.edge_capacity)
+        edge_ids.append(best)
+    return tuple(edge_ids)
+
+
+def path_length(weights: np.ndarray, edge_ids: Sequence[int]) -> float:
+    """Return the total weight ``sum_e y_e`` of a path given by edge ids."""
+    if len(edge_ids) == 0:
+        return 0.0
+    return float(np.asarray(weights, dtype=np.float64)[np.asarray(edge_ids, dtype=np.int64)].sum())
+
+
+def is_simple_path(vertices: Sequence[int]) -> bool:
+    """A path is simple when it never repeats a vertex."""
+    vertices = list(vertices)
+    return len(set(vertices)) == len(vertices)
+
+
+def validate_path(
+    graph: CapacitatedGraph,
+    vertices: Sequence[int],
+    *,
+    source: int | None = None,
+    target: int | None = None,
+    require_simple: bool = True,
+) -> tuple[int, ...]:
+    """Validate a vertex path and return its edge ids.
+
+    Checks that consecutive vertices are adjacent, that the path starts and
+    ends at the given ``source`` / ``target`` when provided, and (optionally)
+    that the path is simple — the LP of Figure 1 only sums over simple paths.
+    """
+    vertices = [int(v) for v in vertices]
+    if not vertices:
+        raise InvalidInstanceError("a path must contain at least one vertex")
+    for v in vertices:
+        if not 0 <= v < graph.num_vertices:
+            raise InvalidInstanceError(f"path vertex {v} out of range")
+    if source is not None and vertices[0] != int(source):
+        raise InvalidInstanceError(
+            f"path starts at {vertices[0]}, expected source {source}"
+        )
+    if target is not None and vertices[-1] != int(target):
+        raise InvalidInstanceError(
+            f"path ends at {vertices[-1]}, expected target {target}"
+        )
+    if require_simple and not is_simple_path(vertices):
+        raise InvalidInstanceError(f"path {vertices} is not simple")
+    return path_edge_ids(graph, vertices)

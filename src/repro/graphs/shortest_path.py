@@ -1,0 +1,241 @@
+"""Shortest path computations under mutable per-edge weights.
+
+The primal-dual algorithms of the paper (``Bounded-UFP`` and
+``Bounded-UFP-Repeat``) repeatedly ask for the shortest ``s_r -> t_r`` path
+under the *current* dual weights ``y_e >= 0``.  Weights are always
+non-negative, so Dijkstra with a binary heap is correct; Bellman-Ford is
+provided as an independent oracle for differential testing.
+
+Two call forms are offered:
+
+* :func:`single_source_dijkstra` computes the full distance / parent tree of
+  one source.  The algorithms group requests by source so that one call
+  serves every request sharing that source in an iteration.
+* :func:`shortest_path` is the convenience one-shot ``s -> t`` form.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import NoPathError
+from repro.graphs.graph import CapacitatedGraph
+
+__all__ = [
+    "ShortestPathResult",
+    "single_source_dijkstra",
+    "shortest_path",
+    "bellman_ford",
+]
+
+
+@dataclass(frozen=True)
+class ShortestPathResult:
+    """The shortest-path tree of one source vertex.
+
+    Attributes
+    ----------
+    source:
+        The source vertex the tree is rooted at.
+    distances:
+        Array of length ``n``; ``distances[v]`` is the weight of the shortest
+        path from ``source`` to ``v`` (``inf`` when unreachable).
+    parent_vertex:
+        ``parent_vertex[v]`` is the predecessor of ``v`` on its shortest path
+        (``-1`` for the source and unreachable vertices).
+    parent_edge:
+        ``parent_edge[v]`` is the edge id used to enter ``v`` (``-1`` when
+        not applicable).
+    """
+
+    source: int
+    distances: np.ndarray
+    parent_vertex: np.ndarray
+    parent_edge: np.ndarray
+
+    def reachable(self, target: int) -> bool:
+        return bool(np.isfinite(self.distances[target]))
+
+    def distance(self, target: int) -> float:
+        return float(self.distances[target])
+
+    def path_to(self, target: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Return ``(vertex_path, edge_id_path)`` from the source to ``target``.
+
+        Raises :class:`~repro.exceptions.NoPathError` if ``target`` is not
+        reachable from the source.
+        """
+        target = int(target)
+        if not self.reachable(target):
+            raise NoPathError(f"vertex {target} unreachable from {self.source}")
+        vertices: list[int] = [target]
+        edges: list[int] = []
+        v = target
+        while v != self.source:
+            e = int(self.parent_edge[v])
+            p = int(self.parent_vertex[v])
+            edges.append(e)
+            vertices.append(p)
+            v = p
+        vertices.reverse()
+        edges.reverse()
+        return tuple(vertices), tuple(edges)
+
+
+def single_source_dijkstra(
+    graph: CapacitatedGraph,
+    source: int,
+    weights: np.ndarray,
+    *,
+    targets: set[int] | frozenset[int] | None = None,
+) -> ShortestPathResult:
+    """Dijkstra from ``source`` under non-negative per-edge ``weights``.
+
+    Parameters
+    ----------
+    graph:
+        The capacitated graph (provides CSR adjacency and edge ids).
+    source:
+        Source vertex.
+    weights:
+        Array of length ``graph.num_edges`` with the weight of each logical
+        edge (undirected edges have one weight used in both directions).
+    targets:
+        Optional early-exit set: once every vertex in ``targets`` has been
+        settled the search stops.  Distances of unsettled vertices are left
+        as ``inf`` even if they are reachable, so only use the result for the
+        requested targets in that case.
+    """
+    n = graph.num_vertices
+    source = int(source)
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (graph.num_edges,):
+        raise ValueError(
+            f"weights must have shape ({graph.num_edges},), got {weights.shape}"
+        )
+    if graph.num_edges and float(weights.min()) < 0.0:
+        raise ValueError("Dijkstra requires non-negative weights")
+
+    dist = np.full(n, np.inf, dtype=np.float64)
+    parent_vertex = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    settled = np.zeros(n, dtype=bool)
+
+    indptr = graph.indptr
+    adj_heads = graph.adjacency_heads
+    adj_edge_ids = graph.adjacency_edge_ids
+
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    remaining = set(int(t) for t in targets) if targets is not None else None
+
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        lo, hi = indptr[u], indptr[u + 1]
+        heads = adj_heads[lo:hi]
+        eids = adj_edge_ids[lo:hi]
+        for k in range(heads.shape[0]):
+            v = int(heads[k])
+            if settled[v]:
+                continue
+            e = int(eids[k])
+            nd = d + float(weights[e])
+            if nd < dist[v]:
+                dist[v] = nd
+                parent_vertex[v] = u
+                parent_edge[v] = e
+                heapq.heappush(heap, (nd, v))
+
+    return ShortestPathResult(
+        source=source,
+        distances=dist,
+        parent_vertex=parent_vertex,
+        parent_edge=parent_edge,
+    )
+
+
+def shortest_path(
+    graph: CapacitatedGraph,
+    source: int,
+    target: int,
+    weights: np.ndarray,
+) -> tuple[tuple[int, ...], tuple[int, ...], float]:
+    """Return ``(vertex_path, edge_id_path, length)`` for one ``s -> t`` pair.
+
+    Raises :class:`~repro.exceptions.NoPathError` when ``target`` is not
+    reachable from ``source``.
+    """
+    result = single_source_dijkstra(graph, source, weights, targets={int(target)})
+    if not result.reachable(int(target)):
+        raise NoPathError(f"no path from {source} to {target}")
+    vertices, edges = result.path_to(int(target))
+    return vertices, edges, result.distance(int(target))
+
+
+def bellman_ford(
+    graph: CapacitatedGraph,
+    source: int,
+    weights: np.ndarray,
+) -> ShortestPathResult:
+    """Bellman-Ford single-source shortest paths.
+
+    Slower than Dijkstra but independent of the heap implementation — used in
+    tests as a differential oracle.  Negative weights are accepted (the
+    algorithms never produce them, but the oracle should not assume that);
+    negative cycles raise ``ValueError``.
+    """
+    n = graph.num_vertices
+    m = graph.num_edges
+    source = int(source)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (m,):
+        raise ValueError(f"weights must have shape ({m},), got {weights.shape}")
+
+    dist = np.full(n, np.inf, dtype=np.float64)
+    parent_vertex = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0.0
+
+    # Build the arc list once: (tail, head, edge_id) including both
+    # orientations for undirected graphs.
+    arcs: list[tuple[int, int, int]] = []
+    for eid in range(m):
+        u, v = graph.edge_endpoints(eid)
+        arcs.append((u, v, eid))
+        if not graph.directed:
+            arcs.append((v, u, eid))
+
+    for _ in range(n - 1):
+        changed = False
+        for u, v, eid in arcs:
+            if np.isfinite(dist[u]) and dist[u] + weights[eid] < dist[v] - 1e-15:
+                dist[v] = dist[u] + weights[eid]
+                parent_vertex[v] = u
+                parent_edge[v] = eid
+                changed = True
+        if not changed:
+            break
+    else:
+        # One more pass to detect negative cycles reachable from the source.
+        for u, v, eid in arcs:
+            if np.isfinite(dist[u]) and dist[u] + weights[eid] < dist[v] - 1e-9:
+                raise ValueError("negative cycle detected")
+
+    return ShortestPathResult(
+        source=source,
+        distances=dist,
+        parent_vertex=parent_vertex,
+        parent_edge=parent_edge,
+    )

@@ -1,0 +1,39 @@
+"""Linear-programming substrate.
+
+Everything LP-shaped in the reproduction goes through this package:
+
+* :mod:`repro.lp.model` — a small sparse LP builder (variables, linear
+  constraints, objective) assembled as COO triplets.
+* :mod:`repro.lp.solver` — the scipy/HiGHS solve wrapper with normalized
+  statuses and dual extraction.
+* :mod:`repro.lp.fractional_ufp` — the relaxation of the Figure 1 ILP
+  (edge-flow formulation), used as the fractional optimum / upper bound in
+  every UFP experiment, with a "repetitions" mode matching Figure 5.
+* :mod:`repro.lp.fractional_muca` — the relaxation of the auction ILP.
+* :mod:`repro.lp.path_lp` — the path formulation solved by column
+  generation (pricing = shortest path under the capacity duals), which also
+  yields per-request path distributions for randomized rounding.
+* :mod:`repro.lp.duality` — helpers for checking weak duality and building
+  dual objective values from ``(y, z)`` variable sets.
+"""
+
+from repro.lp.model import LinearProgram, LPSolution
+from repro.lp.solver import solve_lp
+from repro.lp.fractional_ufp import FractionalUFPResult, solve_fractional_ufp
+from repro.lp.fractional_muca import FractionalMUCAResult, solve_fractional_muca
+from repro.lp.path_lp import PathLPResult, solve_path_lp
+from repro.lp.duality import ufp_dual_objective, check_weak_duality
+
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "solve_lp",
+    "FractionalUFPResult",
+    "solve_fractional_ufp",
+    "FractionalMUCAResult",
+    "solve_fractional_muca",
+    "PathLPResult",
+    "solve_path_lp",
+    "ufp_dual_objective",
+    "check_weak_duality",
+]

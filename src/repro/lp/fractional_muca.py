@@ -1,0 +1,106 @@
+"""The fractional relaxation of the multi-unit combinatorial auction ILP.
+
+The auction ILP is the "paths are fixed" special case of the Figure 1 ILP:
+each bid ``r`` has a single 0/1 variable ``x_r``, items ``u`` constrain
+``sum_{r : u in U_r} x_r <= c_u``.  Its relaxation is a plain packing LP and
+is solved directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.auctions.instance import MUCAInstance
+from repro.lp.model import LinearProgram
+from repro.lp.solver import solve_lp
+from repro.types import SolverStatus
+
+__all__ = ["FractionalMUCAResult", "solve_fractional_muca"]
+
+
+@dataclass(frozen=True)
+class FractionalMUCAResult:
+    """Solution of the fractional auction relaxation.
+
+    Attributes
+    ----------
+    objective:
+        The fractional optimum ``sum_r v_r x_r``.
+    fractions:
+        Array over bids with the fractional acceptance ``x_r in [0, 1]``.
+    item_duals:
+        Dual prices ``y_u`` of the multiplicity constraints.
+    status:
+        Solver status.
+    """
+
+    objective: float
+    fractions: np.ndarray
+    item_duals: np.ndarray
+    status: SolverStatus
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok
+
+
+def solve_fractional_muca(
+    instance: MUCAInstance,
+    *,
+    raise_on_failure: bool = True,
+) -> FractionalMUCAResult:
+    """Solve the fractional relaxation of a multi-unit auction instance."""
+    num_bids = instance.num_bids
+    num_items = instance.num_items
+
+    if num_bids == 0:
+        return FractionalMUCAResult(
+            objective=0.0,
+            fractions=np.zeros(0),
+            item_duals=np.zeros(num_items),
+            status=SolverStatus.OPTIMAL,
+        )
+
+    lp = LinearProgram()
+    x_vars = [
+        lp.add_variable(objective=bid.value, lower=0.0, upper=1.0, name=f"x_{r}")
+        for r, bid in enumerate(instance.bids)
+    ]
+
+    # One packing constraint per item: sum of accepted bids containing it.
+    bids_of_item: list[list[int]] = [[] for _ in range(num_items)]
+    for r, bid in enumerate(instance.bids):
+        for u in bid.bundle:
+            bids_of_item[u].append(r)
+
+    item_rows: list[int] = []
+    for u in range(num_items):
+        terms = {x_vars[r]: 1.0 for r in bids_of_item[u]}
+        if terms:
+            row = lp.add_le_constraint(terms, float(instance.multiplicities[u]))
+        else:
+            # An item no bid wants: add a trivial constraint so dual indexing
+            # stays aligned with item ids.
+            row = lp.add_le_constraint({}, float(instance.multiplicities[u]))
+        item_rows.append(row)
+
+    solution = solve_lp(lp, raise_on_failure=raise_on_failure)
+
+    if not solution.ok:
+        return FractionalMUCAResult(
+            objective=float("nan"),
+            fractions=np.full(num_bids, np.nan),
+            item_duals=np.full(num_items, np.nan),
+            status=solution.status,
+        )
+
+    fractions = np.array([solution.x[i] for i in x_vars], dtype=np.float64)
+    item_duals = solution.ineq_duals[np.asarray(item_rows, dtype=np.int64)]
+    return FractionalMUCAResult(
+        objective=float(solution.objective),
+        fractions=fractions,
+        item_duals=item_duals,
+        status=solution.status,
+    )

@@ -1,0 +1,210 @@
+"""The fractional relaxation of the unsplittable flow ILP (Figure 1).
+
+The paper's primal program (Figure 1) is written over simple paths; the
+edge-flow formulation solved here is its standard polynomial-size
+equivalent: for every request ``r`` and every arc ``a`` a variable
+``g_{r,a} in [0, 1]`` gives the *fraction* of the request's demand routed
+through that arc, with flow conservation at every vertex other than the
+terminals and a per-request variable ``X_r in [0, 1]`` for the total routed
+fraction.  Capacities couple the requests: ``sum_r d_r * (flow of r on edge
+e) <= c_e``, where for an undirected edge both arc orientations count toward
+the same capacity.
+
+The objective ``max sum_r v_r X_r`` equals the optimum of the relaxation of
+the Figure 1 ILP, so it upper bounds the integral optimum — which is how
+every experiment uses it.  With ``repetitions=True`` the per-request cap
+``X_r <= 1`` is dropped, matching the relaxation of the Figure 5 ILP
+(unsplittable flow with repetitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import LPSolveError
+from repro.flows.instance import UFPInstance
+from repro.lp.model import LinearProgram, LPSolution
+from repro.lp.solver import solve_lp
+from repro.types import SolverStatus
+
+__all__ = ["FractionalUFPResult", "solve_fractional_ufp"]
+
+
+@dataclass(frozen=True)
+class FractionalUFPResult:
+    """Solution of the fractional UFP relaxation.
+
+    Attributes
+    ----------
+    objective:
+        The fractional optimum ``sum_r v_r X_r``.
+    routed_fraction:
+        Array over requests: the fraction ``X_r`` of each request routed
+        (may exceed 1 in repetitions mode).
+    edge_flows:
+        Array of shape ``(num_requests, num_edges)`` with the demand units of
+        each request crossing each logical edge (both orientations summed for
+        undirected graphs).
+    capacity_duals:
+        Dual values ``y_e`` of the capacity constraints (the LP analogue of
+        the algorithm's edge weights).
+    status:
+        Solver status (always optimal unless ``raise_on_failure=False``).
+    """
+
+    objective: float
+    routed_fraction: np.ndarray
+    edge_flows: np.ndarray
+    capacity_duals: np.ndarray
+    status: SolverStatus
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok
+
+    def edge_loads(self) -> np.ndarray:
+        """Total demand load per edge of the fractional solution."""
+        return self.edge_flows.sum(axis=0)
+
+
+def solve_fractional_ufp(
+    instance: UFPInstance,
+    *,
+    repetitions: bool = False,
+    raise_on_failure: bool = True,
+) -> FractionalUFPResult:
+    """Solve the fractional relaxation of ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        The UFP instance.
+    repetitions:
+        When ``True`` the per-request cap ``X_r <= 1`` is dropped (Figure 5
+        relaxation); the optimum is then only bounded by the capacities.
+    raise_on_failure:
+        Raise :class:`~repro.exceptions.LPSolveError` on non-optimal status.
+
+    Notes
+    -----
+    The multicommodity-flow relaxation may route a request along several
+    paths or even around cycles; cycles never help the objective so the
+    optimal basis returned by HiGHS does not contain them, but no
+    post-processing relies on their absence.
+    """
+    graph = instance.graph
+    n = graph.num_vertices
+    m = graph.num_edges
+    num_requests = instance.num_requests
+
+    if m == 0:
+        raise LPSolveError("cannot solve the relaxation of a graph with no edges")
+    if num_requests == 0:
+        return FractionalUFPResult(
+            objective=0.0,
+            routed_fraction=np.zeros(0),
+            edge_flows=np.zeros((0, m)),
+            capacity_duals=np.zeros(m),
+            status=SolverStatus.OPTIMAL,
+        )
+
+    # Arc table: directed graphs use one arc per edge; undirected graphs two.
+    arc_tails: list[int] = []
+    arc_heads: list[int] = []
+    arc_edge: list[int] = []
+    for eid in range(m):
+        u, v = graph.edge_endpoints(eid)
+        arc_tails.append(u)
+        arc_heads.append(v)
+        arc_edge.append(eid)
+        if not graph.directed:
+            arc_tails.append(v)
+            arc_heads.append(u)
+            arc_edge.append(eid)
+    num_arcs = len(arc_edge)
+
+    lp = LinearProgram()
+
+    # Variables: X_r (routed fraction) then g_{r,a} (per-arc fractions).
+    x_upper = np.inf if repetitions else 1.0
+    x_vars = [
+        lp.add_variable(objective=req.value, lower=0.0, upper=x_upper, name=f"X_{r}")
+        for r, req in enumerate(instance.requests)
+    ]
+    g_vars = np.empty((num_requests, num_arcs), dtype=np.int64)
+    for r in range(num_requests):
+        g_upper = np.inf if repetitions else 1.0
+        for a in range(num_arcs):
+            g_vars[r, a] = lp.add_variable(
+                objective=0.0, lower=0.0, upper=g_upper, name=f"g_{r}_{a}"
+            )
+
+    # Flow conservation: out - in = X_r at the source, -X_r at the target,
+    # 0 elsewhere, for every request.
+    out_arcs_of: list[list[int]] = [[] for _ in range(n)]
+    in_arcs_of: list[list[int]] = [[] for _ in range(n)]
+    for a in range(num_arcs):
+        out_arcs_of[arc_tails[a]].append(a)
+        in_arcs_of[arc_heads[a]].append(a)
+
+    for r, req in enumerate(instance.requests):
+        for v in range(n):
+            terms: dict[int, float] = {}
+            for a in out_arcs_of[v]:
+                terms[int(g_vars[r, a])] = terms.get(int(g_vars[r, a]), 0.0) + 1.0
+            for a in in_arcs_of[v]:
+                terms[int(g_vars[r, a])] = terms.get(int(g_vars[r, a]), 0.0) - 1.0
+            if v == req.source:
+                terms[x_vars[r]] = terms.get(x_vars[r], 0.0) - 1.0
+                lp.add_eq_constraint(terms, 0.0)
+            elif v == req.target:
+                terms[x_vars[r]] = terms.get(x_vars[r], 0.0) + 1.0
+                lp.add_eq_constraint(terms, 0.0)
+            else:
+                if terms:
+                    lp.add_eq_constraint(terms, 0.0)
+
+    # Capacity constraints per logical edge:
+    #     sum_r d_r * sum_{arcs a of e} g_{r,a} <= c_e.
+    capacity_rows: list[int] = []
+    arcs_of_edge: list[list[int]] = [[] for _ in range(m)]
+    for a in range(num_arcs):
+        arcs_of_edge[arc_edge[a]].append(a)
+    for eid in range(m):
+        terms = {}
+        for r, req in enumerate(instance.requests):
+            for a in arcs_of_edge[eid]:
+                terms[int(g_vars[r, a])] = req.demand
+        row = lp.add_le_constraint(terms, graph.edge_capacity(eid))
+        capacity_rows.append(row)
+
+    solution: LPSolution = solve_lp(lp, raise_on_failure=raise_on_failure)
+
+    if not solution.ok:
+        return FractionalUFPResult(
+            objective=float("nan"),
+            routed_fraction=np.full(num_requests, np.nan),
+            edge_flows=np.full((num_requests, m), np.nan),
+            capacity_duals=np.full(m, np.nan),
+            status=solution.status,
+        )
+
+    routed = np.array([solution.x[i] for i in x_vars], dtype=np.float64)
+    edge_flows = np.zeros((num_requests, m), dtype=np.float64)
+    for r, req in enumerate(instance.requests):
+        for eid in range(m):
+            total = 0.0
+            for a in arcs_of_edge[eid]:
+                total += float(solution.x[int(g_vars[r, a])])
+            edge_flows[r, eid] = req.demand * total
+    capacity_duals = solution.ineq_duals[np.asarray(capacity_rows, dtype=np.int64)]
+
+    return FractionalUFPResult(
+        objective=float(solution.objective),
+        routed_fraction=routed,
+        edge_flows=edge_flows,
+        capacity_duals=capacity_duals,
+        status=solution.status,
+    )

@@ -1,0 +1,186 @@
+"""Empirical monotonicity and exactness audits.
+
+Lemma 3.4 proves ``Bounded-UFP`` monotone analytically; these audits verify
+the property *empirically* on concrete instances and — more importantly —
+expose the *non*-monotonicity of baselines such as randomized LP rounding,
+which is the paper's motivation for avoiding them.
+
+Monotonicity (Definition 2.1): if a request is selected with declaration
+``(d, v)``, it must still be selected with any declaration ``(d', v')`` where
+``d' <= d`` and ``v' >= v``, all other declarations fixed.  The audit samples
+such dominating declarations for winners (and, symmetrically, dominated
+declarations for losers, which must stay losing) and reports violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.auctions.allocation import MUCAAllocation
+from repro.auctions.instance import MUCAInstance
+from repro.flows.allocation import Allocation
+from repro.flows.instance import UFPInstance
+from repro.utils.prng import ensure_rng
+
+__all__ = [
+    "MonotonicityViolation",
+    "MonotonicityReport",
+    "check_ufp_monotonicity",
+    "check_muca_monotonicity",
+    "check_exactness",
+]
+
+
+@dataclass(frozen=True)
+class MonotonicityViolation:
+    """One witnessed violation of Definition 2.1."""
+
+    agent_index: int
+    original_type: tuple
+    deviated_type: tuple
+    originally_selected: bool
+    deviated_selected: bool
+
+    def describe(self) -> str:
+        direction = "winner dropped" if self.originally_selected else "loser promoted"
+        return (
+            f"agent {self.agent_index}: {direction} when type changed from "
+            f"{self.original_type} to {self.deviated_type}"
+        )
+
+
+@dataclass
+class MonotonicityReport:
+    """Result of a monotonicity audit."""
+
+    trials: int = 0
+    violations: list[MonotonicityViolation] = field(default_factory=list)
+
+    @property
+    def is_monotone(self) -> bool:
+        """Whether no violation was found (within the sampled deviations)."""
+        return not self.violations
+
+    @property
+    def violation_rate(self) -> float:
+        return len(self.violations) / self.trials if self.trials else 0.0
+
+    def summary(self) -> str:
+        status = "monotone" if self.is_monotone else "NOT monotone"
+        return (
+            f"{status}: {len(self.violations)} violation(s) in {self.trials} sampled "
+            "deviations"
+        )
+
+
+def check_ufp_monotonicity(
+    algorithm: Callable[[UFPInstance], Allocation],
+    instance: UFPInstance,
+    *,
+    trials_per_request: int = 5,
+    include_losers: bool = True,
+    seed: int | np.random.Generator | None = None,
+) -> MonotonicityReport:
+    """Sample type deviations and check Definition 2.1 for every request.
+
+    For each *winner* the sampled deviations lower the demand and raise the
+    value (the winner must stay selected); for each *loser* (when
+    ``include_losers``) they raise the demand and lower the value (the loser
+    must stay unselected) — the contrapositive of the same property.
+    """
+    rng = ensure_rng(seed)
+    base = algorithm(instance)
+    winners = base.selected_indices()
+    report = MonotonicityReport()
+
+    for idx, request in enumerate(instance.requests):
+        selected = idx in winners
+        if not selected and not include_losers:
+            continue
+        for _ in range(int(trials_per_request)):
+            if selected:
+                new_demand = float(request.demand * rng.uniform(0.3, 1.0))
+                new_value = float(request.value * rng.uniform(1.0, 3.0))
+            else:
+                new_demand = float(min(request.demand * rng.uniform(1.0, 2.0), 1.0))
+                new_value = float(request.value * rng.uniform(0.2, 1.0))
+            deviated = request.with_type(demand=new_demand, value=new_value)
+            trial_instance = instance.replace_request(idx, deviated)
+            trial = algorithm(trial_instance)
+            trial_selected = trial.is_selected(idx)
+            report.trials += 1
+            violated = (selected and not trial_selected) or (
+                not selected and trial_selected
+            )
+            if violated:
+                report.violations.append(
+                    MonotonicityViolation(
+                        agent_index=idx,
+                        original_type=(request.demand, request.value),
+                        deviated_type=(new_demand, new_value),
+                        originally_selected=selected,
+                        deviated_selected=trial_selected,
+                    )
+                )
+    return report
+
+
+def check_muca_monotonicity(
+    algorithm: Callable[[MUCAInstance], MUCAAllocation],
+    instance: MUCAInstance,
+    *,
+    trials_per_bid: int = 5,
+    include_losers: bool = True,
+    seed: int | np.random.Generator | None = None,
+) -> MonotonicityReport:
+    """Value-monotonicity audit for auction algorithms (winners must survive
+    value increases; losers must not win after value decreases)."""
+    rng = ensure_rng(seed)
+    base = algorithm(instance)
+    winners = set(base.winners)
+    report = MonotonicityReport()
+
+    for idx, bid in enumerate(instance.bids):
+        selected = idx in winners
+        if not selected and not include_losers:
+            continue
+        for _ in range(int(trials_per_bid)):
+            if selected:
+                new_value = float(bid.value * rng.uniform(1.0, 3.0))
+            else:
+                new_value = float(bid.value * rng.uniform(0.2, 1.0))
+            trial_instance = instance.replace_bid(idx, bid.with_value(new_value))
+            trial = algorithm(trial_instance)
+            trial_selected = trial.is_winner(idx)
+            report.trials += 1
+            violated = (selected and not trial_selected) or (
+                not selected and trial_selected
+            )
+            if violated:
+                report.violations.append(
+                    MonotonicityViolation(
+                        agent_index=idx,
+                        original_type=(bid.value,),
+                        deviated_type=(new_value,),
+                        originally_selected=selected,
+                        deviated_selected=trial_selected,
+                    )
+                )
+    return report
+
+
+def check_exactness(allocation: Allocation) -> bool:
+    """Exactness (Definition 2.2): every selected request is routed exactly
+    once along a single path carrying its full demand, and unselected
+    requests receive nothing.  For the allocation objects of this library
+    the only way to violate exactness is to route a request more than once,
+    so the check reduces to that."""
+    seen: set[int] = set()
+    for item in allocation.routed:
+        if item.request_index in seen or item.copies != 1:
+            return False
+        seen.add(item.request_index)
+    return True

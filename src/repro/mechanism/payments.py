@@ -1,0 +1,192 @@
+"""Critical-value payments.
+
+For a monotone allocation rule the selection of agent ``r`` is, with every
+other declaration fixed, monotone in ``r``'s declared value: there is a
+threshold (the *critical value*) above which ``r`` is selected and below
+which it is not.  Charging every winner its critical value — and losers
+nothing — yields the truthful mechanism of Theorem 2.3.
+
+The critical value is found by bisection over the declared value, re-running
+the allocation algorithm with the single declaration changed.  The number of
+algorithm runs per winner is ``O(log((v_hi - v_lo) / tol))``; experiments
+that only need allocations (not payments) should not compute payments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.auctions.allocation import MUCAAllocation
+from repro.auctions.instance import MUCAInstance
+from repro.exceptions import MechanismError
+from repro.flows.allocation import Allocation
+from repro.flows.instance import UFPInstance
+
+__all__ = [
+    "critical_value_ufp",
+    "critical_value_muca",
+    "compute_ufp_payments",
+    "compute_muca_payments",
+]
+
+UFPAlgorithm = Callable[[UFPInstance], Allocation]
+MUCAAlgorithm = Callable[[MUCAInstance], MUCAAllocation]
+
+
+def _bisect_critical_value(
+    is_selected_at: Callable[[float], bool],
+    declared_value: float,
+    *,
+    relative_tolerance: float,
+    absolute_tolerance: float,
+    max_iterations: int,
+) -> float:
+    """Find the selection threshold of a monotone-in-value selection predicate.
+
+    ``is_selected_at(v)`` must be monotone non-decreasing in ``v`` and true at
+    ``declared_value``.  The returned value ``c`` satisfies: the agent is
+    selected at ``c + tol`` and (unless ``c`` is effectively zero) not
+    selected at ``c - tol``.
+    """
+    if not is_selected_at(declared_value):
+        raise MechanismError(
+            "critical value requested for a declaration that is not selected"
+        )
+    low = 0.0
+    high = float(declared_value)
+    # Quick exit: selected even at a negligible positive value -> payment ~ 0.
+    tiny = max(absolute_tolerance, relative_tolerance * high) * 0.5
+    if is_selected_at(tiny):
+        return 0.0
+    for _ in range(max_iterations):
+        if high - low <= max(absolute_tolerance, relative_tolerance * high):
+            break
+        mid = 0.5 * (low + high)
+        if is_selected_at(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def critical_value_ufp(
+    algorithm: UFPAlgorithm,
+    instance: UFPInstance,
+    request_index: int,
+    *,
+    relative_tolerance: float = 1e-6,
+    absolute_tolerance: float = 1e-9,
+    max_iterations: int = 60,
+) -> float:
+    """Critical value of one *winning* request under ``algorithm``.
+
+    The declared demand is held fixed; only the declared value is varied.
+    Raises :class:`~repro.exceptions.MechanismError` when the request is not
+    selected under its declaration (losers pay nothing — do not call this).
+    """
+    request_index = int(request_index)
+    declared = instance.requests[request_index]
+
+    def is_selected_at(value: float) -> bool:
+        if value <= 0.0:
+            return False
+        trial = instance.replace_request(request_index, declared.with_value(value))
+        return algorithm(trial).is_selected(request_index)
+
+    return _bisect_critical_value(
+        is_selected_at,
+        declared.value,
+        relative_tolerance=relative_tolerance,
+        absolute_tolerance=absolute_tolerance,
+        max_iterations=max_iterations,
+    )
+
+
+def critical_value_muca(
+    algorithm: MUCAAlgorithm,
+    instance: MUCAInstance,
+    bid_index: int,
+    *,
+    relative_tolerance: float = 1e-6,
+    absolute_tolerance: float = 1e-9,
+    max_iterations: int = 60,
+) -> float:
+    """Critical value of one *winning* bid under ``algorithm``."""
+    bid_index = int(bid_index)
+    declared = instance.bids[bid_index]
+
+    def is_selected_at(value: float) -> bool:
+        if value <= 0.0:
+            return False
+        trial = instance.replace_bid(bid_index, declared.with_value(value))
+        return algorithm(trial).is_winner(bid_index)
+
+    return _bisect_critical_value(
+        is_selected_at,
+        declared.value,
+        relative_tolerance=relative_tolerance,
+        absolute_tolerance=absolute_tolerance,
+        max_iterations=max_iterations,
+    )
+
+
+def compute_ufp_payments(
+    algorithm: UFPAlgorithm,
+    instance: UFPInstance,
+    allocation: Allocation,
+    *,
+    winners: Iterable[int] | None = None,
+    relative_tolerance: float = 1e-6,
+    absolute_tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Critical-value payments for every request (losers pay zero).
+
+    Parameters
+    ----------
+    algorithm:
+        The (monotone, exact) allocation rule; must be the same callable that
+        produced ``allocation``.
+    allocation:
+        The allocation under the declared types.
+    winners:
+        Restrict payment computation to these winning request indices
+        (default: all winners).
+    """
+    payments = np.zeros(instance.num_requests, dtype=np.float64)
+    winner_set = allocation.selected_indices()
+    targets = winner_set if winners is None else (set(int(w) for w in winners) & winner_set)
+    for idx in sorted(targets):
+        payments[idx] = critical_value_ufp(
+            algorithm,
+            instance,
+            idx,
+            relative_tolerance=relative_tolerance,
+            absolute_tolerance=absolute_tolerance,
+        )
+    return payments
+
+
+def compute_muca_payments(
+    algorithm: MUCAAlgorithm,
+    instance: MUCAInstance,
+    allocation: MUCAAllocation,
+    *,
+    winners: Iterable[int] | None = None,
+    relative_tolerance: float = 1e-6,
+    absolute_tolerance: float = 1e-9,
+) -> np.ndarray:
+    """Critical-value payments for every bid (losers pay zero)."""
+    payments = np.zeros(instance.num_bids, dtype=np.float64)
+    winner_set = set(allocation.winners)
+    targets = winner_set if winners is None else (set(int(w) for w in winners) & winner_set)
+    for idx in sorted(targets):
+        payments[idx] = critical_value_muca(
+            algorithm,
+            instance,
+            idx,
+            relative_tolerance=relative_tolerance,
+            absolute_tolerance=absolute_tolerance,
+        )
+    return payments

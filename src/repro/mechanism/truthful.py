@@ -1,0 +1,111 @@
+"""The truthful mechanisms of Corollaries 3.2 and 4.2.
+
+A mechanism is an allocation rule plus a payment rule.  Here the allocation
+rule is ``Bounded-UFP`` / ``Bounded-MUCA`` (monotone and exact by Lemma 3.4 /
+Theorem 4.1) and the payment rule charges every winner its critical value,
+so by Theorem 2.3 reporting the true type is a dominant strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable
+
+import numpy as np
+
+from repro.auctions.allocation import MUCAAllocation
+from repro.auctions.instance import MUCAInstance
+from repro.core.bounded_muca import bounded_muca
+from repro.core.bounded_ufp import bounded_ufp
+from repro.flows.allocation import Allocation
+from repro.flows.instance import UFPInstance
+from repro.mechanism.payments import compute_muca_payments, compute_ufp_payments
+
+__all__ = ["MechanismResult", "run_truthful_ufp_mechanism", "run_truthful_muca_mechanism"]
+
+
+@dataclass(frozen=True)
+class MechanismResult:
+    """Outcome of a truthful mechanism run.
+
+    Attributes
+    ----------
+    allocation:
+        The allocation under the declared types (an
+        :class:`~repro.flows.allocation.Allocation` or
+        :class:`~repro.auctions.allocation.MUCAAllocation`).
+    payments:
+        Per-agent payments; losers pay zero.
+    """
+
+    allocation: Allocation | MUCAAllocation
+    payments: np.ndarray
+
+    @property
+    def social_welfare(self) -> float:
+        """Total declared value of the selected agents."""
+        return float(self.allocation.value)
+
+    @property
+    def revenue(self) -> float:
+        """Total payments collected."""
+        return float(self.payments.sum())
+
+    def utility_of(self, agent_index: int, true_value: float) -> float:
+        """Quasi-linear utility of one agent whose true value is
+        ``true_value`` and whose declared allocation fully serves it."""
+        agent_index = int(agent_index)
+        if isinstance(self.allocation, Allocation):
+            selected = self.allocation.is_selected(agent_index)
+        else:
+            selected = self.allocation.is_winner(agent_index)
+        return (true_value - float(self.payments[agent_index])) if selected else 0.0
+
+
+def run_truthful_ufp_mechanism(
+    instance: UFPInstance,
+    epsilon: float,
+    *,
+    compute_payments: bool = True,
+    algorithm: Callable[[UFPInstance], Allocation] | None = None,
+) -> MechanismResult:
+    """Run the Corollary 3.2 mechanism on the declared instance.
+
+    Parameters
+    ----------
+    instance:
+        The instance as *declared* by the agents.
+    epsilon:
+        The accuracy parameter passed to ``Bounded-UFP``.
+    compute_payments:
+        Set to ``False`` to skip the (algorithm-rerunning) payment
+        computation when only the allocation matters.
+    algorithm:
+        Override the allocation rule (must be monotone and exact for the
+        result to be truthful); defaults to ``Bounded-UFP(epsilon)``.
+    """
+    rule = algorithm or partial(bounded_ufp, epsilon=epsilon)
+    allocation = rule(instance)
+    if compute_payments:
+        payments = compute_ufp_payments(rule, instance, allocation)
+    else:
+        payments = np.zeros(instance.num_requests, dtype=np.float64)
+    return MechanismResult(allocation=allocation, payments=payments)
+
+
+def run_truthful_muca_mechanism(
+    instance: MUCAInstance,
+    epsilon: float,
+    *,
+    compute_payments: bool = True,
+    algorithm: Callable[[MUCAInstance], MUCAAllocation] | None = None,
+) -> MechanismResult:
+    """Run the Corollary 4.2 mechanism on the declared auction."""
+    rule = algorithm or partial(bounded_muca, epsilon=epsilon)
+    allocation = rule(instance)
+    if compute_payments:
+        payments = compute_muca_payments(rule, instance, allocation)
+    else:
+        payments = np.zeros(instance.num_bids, dtype=np.float64)
+    return MechanismResult(allocation=allocation, payments=payments)

@@ -1,0 +1,232 @@
+"""Truthfulness audits: can any sampled misreport beat truth-telling?
+
+Theorem 2.3 guarantees that under a monotone, exact allocation rule with
+critical-value payments, no misreport ever increases an agent's utility.
+The audits here test that guarantee end to end on concrete instances: for a
+sample of agents and a sample of misreports, the utility of lying (computed
+with the *true* type, the mechanism outcome under the *lie*, and the payment
+charged under the lie) must not exceed the utility of truth-telling by more
+than a numerical tolerance.
+
+Running the audit against a *non*-monotone rule (e.g. randomized rounding)
+produces positive-utility lies, which is exactly the phenomenon that makes
+such rules unusable as mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.auctions.allocation import MUCAAllocation
+from repro.auctions.instance import MUCAInstance
+from repro.exceptions import MechanismError
+from repro.flows.allocation import Allocation
+from repro.flows.instance import UFPInstance
+from repro.mechanism.agents import MUCAAgent, UFPAgent
+from repro.mechanism.payments import critical_value_muca, critical_value_ufp
+from repro.utils.prng import ensure_rng
+
+__all__ = [
+    "ProfitableDeviation",
+    "TruthfulnessReport",
+    "audit_ufp_truthfulness",
+    "audit_muca_truthfulness",
+]
+
+
+@dataclass(frozen=True)
+class ProfitableDeviation:
+    """A sampled misreport that strictly increased an agent's utility."""
+
+    agent_index: int
+    true_type: tuple
+    misreported_type: tuple
+    truthful_utility: float
+    deviating_utility: float
+
+    @property
+    def gain(self) -> float:
+        return self.deviating_utility - self.truthful_utility
+
+
+@dataclass
+class TruthfulnessReport:
+    """Result of a truthfulness audit."""
+
+    agents_audited: int = 0
+    misreports_tried: int = 0
+    profitable_deviations: list[ProfitableDeviation] = field(default_factory=list)
+    max_gain: float = 0.0
+
+    @property
+    def is_truthful(self) -> bool:
+        """No sampled misreport was (numerically significantly) profitable."""
+        return not self.profitable_deviations
+
+    def summary(self) -> str:
+        status = "truthful" if self.is_truthful else "NOT truthful"
+        return (
+            f"{status}: {len(self.profitable_deviations)} profitable deviation(s) "
+            f"out of {self.misreports_tried} misreports over {self.agents_audited} "
+            f"agents (max gain {self.max_gain:.3g})"
+        )
+
+
+def _ufp_outcome(
+    algorithm: Callable[[UFPInstance], Allocation],
+    instance: UFPInstance,
+    index: int,
+) -> tuple[bool, float]:
+    """(selected, payment) of agent ``index`` when the declared instance is
+    ``instance``.  Payment is the critical value when selected, else 0."""
+    allocation = algorithm(instance)
+    if not allocation.is_selected(index):
+        return False, 0.0
+    payment = critical_value_ufp(algorithm, instance, index)
+    return True, payment
+
+
+def audit_ufp_truthfulness(
+    algorithm: Callable[[UFPInstance], Allocation],
+    instance: UFPInstance,
+    *,
+    agents: list[int] | None = None,
+    misreports_per_agent: int = 6,
+    tolerance: float = 1e-4,
+    seed: int | np.random.Generator | None = None,
+) -> TruthfulnessReport:
+    """Audit the mechanism induced by ``algorithm`` + critical-value payments.
+
+    Parameters
+    ----------
+    algorithm:
+        The allocation rule (assumed deterministic).
+    instance:
+        The instance of *true* types.
+    agents:
+        Which request indices to audit (default: all).
+    misreports_per_agent:
+        How many random ``(demand, value)`` misreports to try per agent, in
+        addition to two structured ones (value inflated to win, value deflated
+        just above the truthful payment).
+    tolerance:
+        Utility gains below this threshold are attributed to the payment
+        bisection tolerance and not reported.
+    """
+    rng = ensure_rng(seed)
+    indices = list(range(instance.num_requests)) if agents is None else [int(a) for a in agents]
+    report = TruthfulnessReport()
+
+    for idx in indices:
+        true_request = instance.requests[idx]
+        agent = UFPAgent.truthful(true_request)
+        truthful_selected, truthful_payment = _ufp_outcome(algorithm, instance, idx)
+        truthful_utility = agent.utility(truthful_selected, truthful_payment)
+        if truthful_utility < -tolerance:
+            raise MechanismError(
+                f"truth-telling yields negative utility {truthful_utility:.4g} for agent "
+                f"{idx}; the payment rule is not individually rational"
+            )
+        report.agents_audited += 1
+
+        misreports: list[tuple[float, float]] = []
+        for _ in range(int(misreports_per_agent)):
+            demand = float(
+                np.clip(true_request.demand * rng.uniform(0.3, 1.5), 1e-6, 1.0)
+            )
+            value = float(true_request.value * rng.uniform(0.3, 3.0))
+            misreports.append((demand, value))
+        # Structured misreports: inflate the value a lot (try to force a win),
+        # and shade the value down towards the payment (try to pay less).
+        misreports.append((true_request.demand, true_request.value * 10.0))
+        if truthful_selected and truthful_payment > 0:
+            misreports.append((true_request.demand, truthful_payment * 1.01))
+
+        for demand, value in misreports:
+            lie = true_request.with_type(demand=demand, value=value)
+            lie_instance = instance.replace_request(idx, lie)
+            lie_agent = UFPAgent(true_request=true_request, declared_request=lie)
+            lie_selected, lie_payment = _ufp_outcome(algorithm, lie_instance, idx)
+            lie_utility = lie_agent.utility(lie_selected, lie_payment)
+            report.misreports_tried += 1
+            gain = lie_utility - truthful_utility
+            report.max_gain = max(report.max_gain, gain)
+            if gain > tolerance:
+                report.profitable_deviations.append(
+                    ProfitableDeviation(
+                        agent_index=idx,
+                        true_type=(true_request.demand, true_request.value),
+                        misreported_type=(demand, value),
+                        truthful_utility=truthful_utility,
+                        deviating_utility=lie_utility,
+                    )
+                )
+    return report
+
+
+def _muca_outcome(
+    algorithm: Callable[[MUCAInstance], MUCAAllocation],
+    instance: MUCAInstance,
+    index: int,
+) -> tuple[bool, float]:
+    allocation = algorithm(instance)
+    if not allocation.is_winner(index):
+        return False, 0.0
+    payment = critical_value_muca(algorithm, instance, index)
+    return True, payment
+
+
+def audit_muca_truthfulness(
+    algorithm: Callable[[MUCAInstance], MUCAAllocation],
+    instance: MUCAInstance,
+    *,
+    agents: list[int] | None = None,
+    misreports_per_agent: int = 6,
+    tolerance: float = 1e-4,
+    seed: int | np.random.Generator | None = None,
+) -> TruthfulnessReport:
+    """Value-misreport audit of the auction mechanism (known single-minded)."""
+    rng = ensure_rng(seed)
+    indices = list(range(instance.num_bids)) if agents is None else [int(a) for a in agents]
+    report = TruthfulnessReport()
+
+    for idx in indices:
+        true_bid = instance.bids[idx]
+        agent = MUCAAgent.truthful(true_bid)
+        truthful_selected, truthful_payment = _muca_outcome(algorithm, instance, idx)
+        truthful_utility = agent.utility(truthful_selected, truthful_payment)
+        if truthful_utility < -tolerance:
+            raise MechanismError(
+                f"truth-telling yields negative utility for bid {idx}; the payment "
+                "rule is not individually rational"
+            )
+        report.agents_audited += 1
+
+        values = [float(true_bid.value * rng.uniform(0.3, 3.0)) for _ in range(int(misreports_per_agent))]
+        values.append(true_bid.value * 10.0)
+        if truthful_selected and truthful_payment > 0:
+            values.append(truthful_payment * 1.01)
+
+        for value in values:
+            lie = true_bid.with_value(value)
+            lie_instance = instance.replace_bid(idx, lie)
+            lie_agent = MUCAAgent(true_bid=true_bid, declared_bid=lie)
+            lie_selected, lie_payment = _muca_outcome(algorithm, lie_instance, idx)
+            lie_utility = lie_agent.utility(lie_selected, lie_payment)
+            report.misreports_tried += 1
+            gain = lie_utility - truthful_utility
+            report.max_gain = max(report.max_gain, gain)
+            if gain > tolerance:
+                report.profitable_deviations.append(
+                    ProfitableDeviation(
+                        agent_index=idx,
+                        true_type=(true_bid.value,),
+                        misreported_type=(value,),
+                        truthful_utility=truthful_utility,
+                        deviating_utility=lie_utility,
+                    )
+                )
+    return report

@@ -1,0 +1,23 @@
+"""Small shared utilities: deterministic randomness, timing, tables."""
+
+from repro.utils.prng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.tables import Table, format_float
+from repro.utils.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_in_unit_interval,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "Table",
+    "format_float",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "check_in_unit_interval",
+]

@@ -1,0 +1,89 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The experiment harness prints the same rows the paper's theorems/figures
+describe; this module keeps that output readable without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(value: Any, precision: int = 4) -> str:
+    """Format a numeric cell with ``precision`` significant decimals.
+
+    Non-numeric values are passed through ``str``; ``None`` renders as ``-``.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1e6 or (abs(value) < 1e-4 and value != 0.0):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    Parameters
+    ----------
+    columns:
+        Ordered column names.
+    title:
+        Optional heading printed above the table.
+    precision:
+        Number of decimals used for float cells.
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    precision: int = 4
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, values: Sequence[Any] | Mapping[str, Any]) -> None:
+        """Append a row given either a sequence (column order) or a mapping."""
+        if isinstance(values, Mapping):
+            ordered = [values.get(col) for col in self.columns]
+        else:
+            ordered = list(values)
+            if len(ordered) != len(self.columns):
+                raise ValueError(
+                    f"row has {len(ordered)} cells, table has {len(self.columns)} columns"
+                )
+        self.rows.append([format_float(v, self.precision) for v in ordered])
+
+    def extend(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def render(self) -> str:
+        """Return the table as an aligned multi-line string."""
+        headers = [str(c) for c in self.columns]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(headers))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

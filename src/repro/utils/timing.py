@@ -1,0 +1,46 @@
+"""Lightweight wall-clock timing helpers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer"]
+
+
+@dataclass
+class Timer:
+    """A context-manager stopwatch with accumulation.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+
+    The same timer can be entered repeatedly; ``elapsed`` accumulates across
+    uses, which is convenient for timing only the hot section of a loop.
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed += time.perf_counter() - self._start
+            self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently inside a ``with`` block."""
+        return self._start is not None

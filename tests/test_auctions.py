@@ -1,0 +1,221 @@
+"""Tests for :mod:`repro.auctions`: bids, instances, allocations, generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auctions import (
+    Bid,
+    MUCAAllocation,
+    MUCAInstance,
+    correlated_auction,
+    partition_instance,
+    partition_optimal_value,
+    partition_reasonable_upper_bound,
+    random_auction,
+)
+from repro.exceptions import (
+    InfeasibleAllocationError,
+    InvalidInstanceError,
+    InvalidRequestError,
+)
+
+
+class TestBid:
+    def test_bundle_sorted_and_deduplicated_rejected(self):
+        bid = Bid((3, 1, 2), 5.0)
+        assert bid.bundle == (1, 2, 3)
+        assert bid.size == 3
+        with pytest.raises(InvalidRequestError):
+            Bid((1, 1), 2.0)
+
+    def test_rejects_empty_bundle_and_bad_value(self):
+        with pytest.raises(InvalidRequestError):
+            Bid((), 1.0)
+        with pytest.raises(ValueError):
+            Bid((0,), 0.0)
+
+    def test_with_value_and_bundle(self):
+        bid = Bid((0, 1), 4.0, name="x")
+        assert bid.with_value(9.0).value == 9.0
+        assert bid.with_bundle((2,)).bundle == (2,)
+        assert bid.with_value(9.0).name == "x"
+
+    def test_dominates_type_of(self):
+        base = Bid((0, 1, 2), 4.0)
+        assert Bid((0, 1), 5.0).dominates_type_of(base)
+        assert base.dominates_type_of(base)
+        assert not Bid((0, 3), 5.0).dominates_type_of(base)
+        assert not Bid((0, 1), 3.0).dominates_type_of(base)
+
+
+class TestMUCAInstance:
+    def test_construction(self, tiny_auction):
+        assert tiny_auction.num_items == 3
+        assert tiny_auction.num_bids == 4
+        assert tiny_auction.capacity_bound() == 2.0
+        assert tiny_auction.total_value == 10.0
+
+    def test_rejects_unknown_item(self):
+        with pytest.raises(InvalidInstanceError):
+            MUCAInstance(np.array([1.0, 1.0]), [Bid((5,), 1.0)])
+
+    def test_rejects_bad_multiplicities(self):
+        with pytest.raises(InvalidInstanceError):
+            MUCAInstance(np.array([0.0]), [Bid((0,), 1.0)])
+        with pytest.raises(InvalidInstanceError):
+            MUCAInstance(np.array([]), [])
+
+    def test_bids_from_tuples_get_names(self):
+        instance = MUCAInstance(np.array([2.0, 2.0]), [((0,), 1.0), ((1,), 2.0)])
+        assert [b.name for b in instance.bids] == ["b0", "b1"]
+
+    def test_replace_bid(self, tiny_auction):
+        new = tiny_auction.bids[0].with_value(100.0)
+        replaced = tiny_auction.replace_bid(0, new)
+        assert replaced.bids[0].value == 100.0
+        assert tiny_auction.bids[0].value == 4.0
+        with pytest.raises(IndexError):
+            tiny_auction.replace_bid(10, new)
+
+    def test_incidence_matrix(self, tiny_auction):
+        A = tiny_auction.incidence_matrix()
+        assert A.shape == (3, 4)
+        assert A[0, 0] == 1.0 and A[1, 0] == 1.0 and A[2, 0] == 0.0
+        # Column sums equal bundle sizes.
+        np.testing.assert_allclose(A.sum(axis=0), [2, 2, 1, 1])
+
+    def test_capacity_assumption(self):
+        instance = MUCAInstance(np.full(5, 100.0), [Bid((0,), 1.0)])
+        assert instance.meets_capacity_assumption(0.5)
+        assert instance.minimum_epsilon() < 0.5
+
+
+class TestMUCAAllocation:
+    def test_value_and_loads(self, tiny_auction):
+        allocation = MUCAAllocation.from_winners(tiny_auction, [0, 1])
+        assert allocation.value == 7.0
+        np.testing.assert_allclose(allocation.item_loads(), [1.0, 2.0, 1.0])
+        assert allocation.is_feasible()
+        allocation.validate()
+
+    def test_validate_rejects_overallocation(self, tiny_auction):
+        allocation = MUCAAllocation.from_winners(tiny_auction, [0, 0, 1])
+        with pytest.raises(InfeasibleAllocationError):
+            allocation.validate()
+
+    def test_from_winners_rejects_bad_index(self, tiny_auction):
+        with pytest.raises(InvalidInstanceError):
+            MUCAAllocation.from_winners(tiny_auction, [9])
+
+    def test_empty(self, tiny_auction):
+        allocation = MUCAAllocation.empty(tiny_auction)
+        assert allocation.value == 0.0
+        assert allocation.num_winners == 0
+        assert allocation.is_feasible()
+
+    def test_is_winner_and_winning_bids(self, tiny_auction):
+        allocation = MUCAAllocation.from_winners(tiny_auction, [2])
+        assert allocation.is_winner(2) and not allocation.is_winner(0)
+        assert [b.name for b in allocation.winning_bids()] == ["a"]
+
+
+class TestAuctionGenerators:
+    def test_random_auction_shapes(self):
+        auction = random_auction(num_items=10, num_bids=40, multiplicity=5.0,
+                                 bundle_size_range=(1, 3), seed=0)
+        assert auction.num_items == 10
+        assert auction.num_bids == 40
+        assert all(1 <= b.size <= 3 for b in auction.bids)
+        assert auction.capacity_bound() == 5.0
+
+    def test_random_auction_multiplicity_range(self):
+        auction = random_auction(num_items=10, num_bids=5, multiplicity=(3.0, 9.0), seed=1)
+        assert np.all(auction.multiplicities >= 3.0)
+        assert np.all(auction.multiplicities <= 9.0)
+
+    def test_random_auction_deterministic(self):
+        a = random_auction(seed=7)
+        b = random_auction(seed=7)
+        assert a == b
+
+    def test_random_auction_invalid_args(self):
+        with pytest.raises(InvalidInstanceError):
+            random_auction(num_items=5, bundle_size_range=(0, 3))
+        with pytest.raises(InvalidInstanceError):
+            random_auction(num_items=5, bundle_size_range=(2, 9))
+        with pytest.raises(InvalidInstanceError):
+            random_auction(multiplicity=-1.0)
+
+    def test_correlated_auction_popular_items(self):
+        auction = correlated_auction(num_items=12, num_bids=60, num_popular=2,
+                                     popular_probability=1.0, seed=2)
+        popular = set(auction.metadata["popular_items"])
+        hit = sum(1 for b in auction.bids if popular & set(b.bundle))
+        assert hit == auction.num_bids
+
+    def test_correlated_auction_invalid_args(self):
+        with pytest.raises(InvalidInstanceError):
+            correlated_auction(num_items=5, num_popular=9)
+
+
+class TestPartitionInstance:
+    def test_sizes(self):
+        p, B = 3, 4
+        instance = partition_instance(p, B)
+        assert instance.num_items == p * (p + 1)
+        # Row bids: p * B/2; column bids: (p+1)/2 pairs * 2 flavours * B/2.
+        assert instance.num_bids == p * B // 2 + (p + 1) * B // 2
+        assert np.all(instance.multiplicities == B)
+
+    def test_bundle_sizes_are_equal_across_types(self):
+        p, B = 5, 2
+        instance = partition_instance(p, B)
+        sizes = {bid.size for bid in instance.bids}
+        # Row bundles have (p+1) groups, column bundles 2 + (p-1) = p+1 groups.
+        assert sizes == {p + 1}
+
+    def test_known_optimum_is_feasible(self):
+        p, B = 3, 4
+        instance = partition_instance(p, B)
+        # Select everything except the row-1 bids (the paper's optimum).
+        winners = [i for i, bid in enumerate(instance.bids) if not bid.name.startswith("row1_")]
+        allocation = MUCAAllocation.from_winners(instance, winners)
+        allocation.validate()
+        assert allocation.value == partition_optimal_value(p, B)
+
+    def test_bounds_formulae(self):
+        assert partition_optimal_value(5, 4) == 20.0
+        assert partition_reasonable_upper_bound(5, 4) == 16.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            partition_instance(2, 4)
+        with pytest.raises(InvalidInstanceError):
+            partition_instance(3, 3)
+        with pytest.raises(InvalidInstanceError):
+            partition_instance(3, 4, items_per_group=0)
+
+    def test_items_per_group_scales_item_count(self):
+        instance = partition_instance(3, 2, items_per_group=2)
+        assert instance.num_items == 2 * 3 * 4
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_items=st.integers(min_value=2, max_value=10),
+    picks=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=6, unique=True),
+    value=st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+)
+def test_property_bid_bundle_membership(num_items, picks, value):
+    """Any valid bundle round-trips through Bid with sorted distinct items."""
+    bundle = tuple(p % num_items for p in picks)
+    if len(set(bundle)) != len(bundle):
+        with pytest.raises(InvalidRequestError):
+            Bid(bundle, value)
+    else:
+        bid = Bid(bundle, value)
+        assert bid.bundle == tuple(sorted(set(bundle)))

@@ -1,0 +1,122 @@
+"""Tests for the shared dual-weight state machine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dual_state import DualWeights
+
+
+class TestInitialization:
+    def test_initial_weights_are_inverse_capacities(self):
+        caps = np.array([2.0, 4.0, 8.0])
+        duals = DualWeights(caps, 0.5)
+        np.testing.assert_allclose(duals.weights, [0.5, 0.25, 0.125])
+
+    def test_initial_budget_equals_m(self):
+        duals = DualWeights(np.array([3.0, 7.0, 11.0, 2.0]), 0.3)
+        assert duals.budget == pytest.approx(4.0)
+
+    def test_capacity_bound_defaults_to_min(self):
+        duals = DualWeights(np.array([5.0, 2.0, 9.0]), 0.3)
+        assert duals.capacity_bound == 2.0
+        override = DualWeights(np.array([5.0, 2.0, 9.0]), 0.3, capacity_bound=4.0)
+        assert override.capacity_bound == 4.0
+
+    def test_budget_limit_formula(self):
+        duals = DualWeights(np.array([10.0, 10.0]), 0.25)
+        assert duals.budget_limit == pytest.approx(math.exp(0.25 * 9.0))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            DualWeights(np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            DualWeights(np.array([1.0, -1.0]), 0.5)
+        with pytest.raises(ValueError):
+            DualWeights(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            DualWeights(np.array([1.0]), 1.5)
+
+
+class TestUpdates:
+    def test_apply_selection_multiplies_weights(self):
+        caps = np.array([2.0, 4.0])
+        duals = DualWeights(caps, 0.5, capacity_bound=2.0)
+        duals.apply_selection([0], demand=1.0)
+        # y_0 = (1/2) * exp(0.5 * 2 * 1 / 2) = 0.5 * e^0.5.
+        assert duals.weight_of(0) == pytest.approx(0.5 * math.exp(0.5))
+        assert duals.weight_of(1) == pytest.approx(0.25)
+        assert duals.num_updates == 1
+
+    def test_budget_tracked_incrementally(self):
+        duals = DualWeights(np.array([2.0, 3.0, 5.0]), 0.4)
+        duals.apply_selection([0, 2], demand=0.7)
+        duals.apply_selection([1], demand=0.3)
+        assert duals.budget == pytest.approx(duals.recompute_budget(), rel=1e-12)
+
+    def test_within_budget_flips_after_enough_updates(self):
+        duals = DualWeights(np.array([2.0, 2.0]), 1.0)  # limit = e^{1*(2-1)} = e
+        assert duals.within_budget
+        for _ in range(10):
+            duals.apply_selection([0, 1], demand=1.0)
+        assert not duals.within_budget
+
+    def test_path_length(self):
+        duals = DualWeights(np.array([2.0, 4.0, 5.0]), 0.3)
+        assert duals.path_length([0, 1]) == pytest.approx(0.75)
+        assert duals.path_length([]) == 0.0
+
+    def test_empty_selection_is_noop(self):
+        duals = DualWeights(np.array([2.0]), 0.3)
+        before = duals.budget
+        duals.apply_selection([], demand=1.0)
+        assert duals.budget == before
+
+    def test_rejects_nonpositive_demand(self):
+        duals = DualWeights(np.array([2.0]), 0.3)
+        with pytest.raises(ValueError):
+            duals.apply_selection([0], demand=0.0)
+
+    def test_copy_is_independent(self):
+        duals = DualWeights(np.array([2.0, 2.0]), 0.3)
+        clone = duals.copy()
+        duals.apply_selection([0], demand=1.0)
+        assert clone.weight_of(0) == pytest.approx(0.5)
+        assert duals.weight_of(0) > 0.5
+
+    def test_weights_view_readonly(self):
+        duals = DualWeights(np.array([2.0]), 0.3)
+        with pytest.raises(ValueError):
+            duals.weights[0] = 3.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    caps=st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=1, max_size=6),
+    epsilon=st.floats(min_value=0.05, max_value=1.0),
+    selections=st.lists(
+        st.tuples(
+            st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=4),
+            st.floats(min_value=0.05, max_value=1.0),
+        ),
+        max_size=8,
+    ),
+)
+def test_property_incremental_budget_matches_recomputation(caps, epsilon, selections):
+    """The O(path) incremental budget never drifts from the O(m) recomputation,
+    and weights are monotone non-decreasing (Claim 3.7 machinery)."""
+    caps = np.asarray(caps)
+    duals = DualWeights(caps, epsilon)
+    previous = np.array(duals.weights)
+    for edge_ids, demand in selections:
+        ids = [e % caps.size for e in edge_ids]
+        duals.apply_selection(ids, demand)
+        current = np.array(duals.weights)
+        assert np.all(current >= previous - 1e-15)
+        previous = current
+    assert duals.budget == pytest.approx(duals.recompute_budget(), rel=1e-9)

@@ -1,0 +1,208 @@
+"""Tests for the reasonable iterative path/bundle minimizing framework."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.auctions import partition_instance
+from repro.core.reasonable import (
+    BoundedUFPPriority,
+    BundleExponentialPriority,
+    HopBiasedPriority,
+    ProductPriority,
+    ReasonableIterativeBundleMinimizer,
+    ReasonableIterativePathMinimizer,
+    UnitCapacityPriority,
+    partition_tie_break,
+    ring7_tie_break,
+    staircase_tie_break,
+)
+from repro.flows import random_instance, ring7_instance, staircase_instance
+from repro.graphs.lower_bounds import staircase_reasonable_upper_bound
+
+
+class TestPriorityFunctions:
+    def test_bounded_ufp_priority_matches_formula(self):
+        priority = BoundedUFPPriority(epsilon=0.5, capacity_bound=2.0)
+        flows = np.array([1.0, 0.0])
+        caps = np.array([2.0, 4.0])
+        # h = d/v * [ (1/2) e^{0.5*2*1/2} + (1/4) e^0 ] with d=1, v=2.
+        expected = 0.5 * (0.5 * math.exp(0.5) + 0.25)
+        assert priority(1.0, 2.0, [0, 1], flows, caps) == pytest.approx(expected)
+
+    def test_priority_is_the_algorithms_dual_weight_sum(self):
+        """h(p) equals (d/v) * sum of y_e with y_e = (1/c)exp(eps B f/c)."""
+        priority = BoundedUFPPriority(epsilon=0.3, capacity_bound=3.0)
+        flows = np.array([2.0, 1.0, 0.0])
+        caps = np.array([3.0, 5.0, 4.0])
+        manual = sum(
+            math.exp(0.3 * 3.0 * flows[e] / caps[e]) / caps[e] for e in range(3)
+        )
+        assert priority(0.7, 1.4, [0, 1, 2], flows, caps) == pytest.approx(0.5 * manual)
+
+    def test_hop_biased_scales_with_length(self):
+        base = BoundedUFPPriority(0.5, 2.0)
+        biased = HopBiasedPriority(base)
+        flows = np.zeros(3)
+        caps = np.full(3, 2.0)
+        short = biased(1.0, 1.0, [0], flows, caps)
+        long = biased(1.0, 1.0, [0, 1, 2], flows, caps)
+        assert long > short
+
+    def test_product_priority_zero_when_any_edge_unused(self):
+        priority = ProductPriority()
+        flows = np.array([0.0, 3.0])
+        caps = np.array([4.0, 4.0])
+        assert priority(1.0, 1.0, [0, 1], flows, caps) == 0.0
+        assert priority(1.0, 1.0, [1], flows, caps) == pytest.approx(0.75)
+
+    def test_unit_capacity_priority_reduced_form(self):
+        priority = UnitCapacityPriority(epsilon=0.2, capacity_bound=5.0)
+        flows = np.array([1.0, 2.0])
+        caps = np.full(2, 5.0)
+        expected = (math.exp(0.2) + math.exp(0.4)) / 5.0
+        assert priority(1.0, 1.0, [0, 1], flows, caps) == pytest.approx(expected)
+
+    def test_reasonability_monotone_in_load_and_length(self):
+        """Definition 3.9 on uniform-capacity unit-type inputs: a path that is
+        shorter and coordinate-wise less loaded never has larger priority.
+
+        ``ProductPriority`` (the paper's ``h2``) is checked for the load
+        direction only: multiplying in additional factors below one can lower
+        a product, so the length direction does not hold for it in general —
+        which is consistent with the paper's remark that "it is not clear why
+        anyone would like to use it".
+        """
+        caps = np.full(4, 6.0)
+        summing_priorities = (
+            BoundedUFPPriority(0.4, 6.0),
+            HopBiasedPriority(BoundedUFPPriority(0.4, 6.0)),
+            UnitCapacityPriority(0.4, 6.0),
+        )
+        for priority in summing_priorities + (ProductPriority(),):
+            light = priority(1.0, 1.0, [0, 1], np.array([1.0, 1.0, 5.0, 5.0]), caps)
+            heavy = priority(1.0, 1.0, [2, 3], np.array([1.0, 1.0, 5.0, 5.0]), caps)
+            assert light <= heavy + 1e-12
+        for priority in summing_priorities:
+            longer = priority(1.0, 1.0, [0, 1, 2], np.array([1.0, 1.0, 1.0, 1.0]), caps)
+            shorter = priority(1.0, 1.0, [0, 1], np.array([1.0, 1.0, 1.0, 1.0]), caps)
+            assert shorter <= longer + 1e-12
+
+    def test_bundle_priority_matches_algorithm_weight(self):
+        priority = BundleExponentialPriority(epsilon=0.5, capacity_bound=2.0)
+        flows = np.array([1.0, 0.0])
+        mult = np.array([2.0, 4.0])
+        expected = (0.5 * math.exp(0.5) + 0.25) / 3.0
+        assert priority(3.0, [0, 1], flows, mult) == pytest.approx(expected)
+
+
+class TestPathMinimizer:
+    def test_routes_all_when_uncontended(self, diamond_instance):
+        algorithm = ReasonableIterativePathMinimizer(BoundedUFPPriority(0.5, 1.0))
+        allocation = algorithm.run(diamond_instance)
+        allocation.validate()
+        assert allocation.value == pytest.approx(diamond_instance.total_value)
+
+    def test_stops_when_no_candidate_fits(self, contended_instance):
+        algorithm = ReasonableIterativePathMinimizer(BoundedUFPPriority(0.5, 2.0))
+        allocation = algorithm.run(contended_instance)
+        allocation.validate()
+        # Exactly two of the three unit requests fit on the capacity-2 edge.
+        assert allocation.num_selected == 2
+
+    def test_respects_max_path_hops(self, diamond_instance):
+        algorithm = ReasonableIterativePathMinimizer(
+            BoundedUFPPriority(0.5, 1.0), max_path_hops=1
+        )
+        allocation = algorithm.run(diamond_instance)
+        # Only the direct 0->3 edge (capacity 1) is available as a path.
+        assert all(len(item.edge_ids) == 1 for item in allocation.routed)
+
+    def test_ring7_adversarial_schedule_hits_3B(self):
+        for B in (4, 8):
+            instance = ring7_instance(B)
+            algorithm = ReasonableIterativePathMinimizer(
+                UnitCapacityPriority(0.5, float(B)), tie_break=ring7_tie_break
+            )
+            allocation = algorithm.run(instance)
+            allocation.validate()
+            assert allocation.value == pytest.approx(3.0 * B)
+
+    def test_staircase_adversarial_schedule_within_paper_bound(self):
+        ell, B = 12, 5
+        instance = staircase_instance(ell, B)
+        algorithm = ReasonableIterativePathMinimizer(
+            BoundedUFPPriority(0.5, float(B)), tie_break=staircase_tie_break
+        )
+        allocation = algorithm.run(instance)
+        allocation.validate()
+        assert allocation.value <= staircase_reasonable_upper_bound(ell, B) + 1e-9
+        assert allocation.value < instance.metadata["known_optimum"]
+
+    def test_staircase_first_phase_follows_the_proof_schedule(self):
+        # The first B selections are the B requests of s_1, routed through the
+        # highest-index intermediates (Theorem 3.11's schedule).
+        ell, B = 6, 3
+        instance = staircase_instance(ell, B)
+        algorithm = ReasonableIterativePathMinimizer(
+            UnitCapacityPriority(0.5, float(B)), tie_break=staircase_tie_break
+        )
+        allocation = algorithm.run(instance)
+        layout = instance.metadata["layout"]
+        first_phase = allocation.routed[:B]
+        assert all(item.request.source == layout["source_0"] for item in first_phase)
+        used_intermediates = [item.vertices[1] for item in first_phase]
+        expected = [layout[f"intermediate_{j}"] for j in range(ell - 1, ell - 1 - B, -1)]
+        assert used_intermediates == expected
+
+    def test_default_tie_break_prefers_low_index(self, contended_instance):
+        algorithm = ReasonableIterativePathMinimizer(ProductPriority())
+        allocation = algorithm.run(contended_instance)
+        # All three candidates have priority 0 initially (product over empty
+        # load); the default tie-break picks request 0 first.
+        assert allocation.routed[0].request_index == 0
+
+    def test_random_instance_feasible_and_bounded(self):
+        instance = random_instance(
+            num_vertices=7, edge_probability=0.4, capacity=4.0,
+            num_requests=12, demand_range=(0.5, 1.0), seed=3,
+        )
+        algorithm = ReasonableIterativePathMinimizer(
+            BoundedUFPPriority(0.5, instance.capacity_bound()), max_path_hops=4,
+            max_paths_per_pair=50,
+        )
+        allocation = algorithm.run(instance)
+        allocation.validate()
+        assert allocation.value <= instance.total_value + 1e-9
+
+
+class TestBundleMinimizer:
+    def test_uncontended(self, tiny_auction):
+        algorithm = ReasonableIterativeBundleMinimizer(BundleExponentialPriority(0.5, 2.0))
+        allocation = algorithm.run(tiny_auction)
+        allocation.validate()
+        assert allocation.value == pytest.approx(tiny_auction.total_value)
+
+    def test_partition_adversarial_schedule_matches_theorem(self):
+        for p, B in ((3, 4), (5, 6)):
+            instance = partition_instance(p, B)
+            algorithm = ReasonableIterativeBundleMinimizer(
+                BundleExponentialPriority(0.5, float(B)), tie_break=partition_tie_break
+            )
+            allocation = algorithm.run(instance)
+            allocation.validate()
+            assert allocation.value == pytest.approx((3 * p + 1) / 4 * B)
+
+    def test_partition_schedule_selects_all_row_bids_first(self):
+        p, B = 3, 4
+        instance = partition_instance(p, B)
+        algorithm = ReasonableIterativeBundleMinimizer(
+            BundleExponentialPriority(0.5, float(B)), tie_break=partition_tie_break
+        )
+        allocation = algorithm.run(instance)
+        row_count = p * B // 2
+        first = [instance.bids[i].name for i in allocation.winners[:row_count]]
+        assert all(name.startswith("row") for name in first)

@@ -1,0 +1,255 @@
+"""Tests for :mod:`repro.flows`: requests, instances, allocations, generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    InfeasibleAllocationError,
+    InvalidInstanceError,
+    InvalidRequestError,
+)
+from repro.flows import (
+    Allocation,
+    Request,
+    UFPInstance,
+    hotspot_instance,
+    isp_instance,
+    random_instance,
+    random_requests,
+    ring7_instance,
+    staircase_instance,
+)
+from repro.flows.request import normalize_requests
+from repro.graphs import CapacitatedGraph
+
+
+class TestRequest:
+    def test_basic_properties(self):
+        r = Request(0, 1, 0.5, 2.0, name="x")
+        assert r.type == (0.5, 2.0)
+        assert r.density == 4.0
+
+    def test_rejects_nonpositive_demand_or_value(self):
+        with pytest.raises(ValueError):
+            Request(0, 1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Request(0, 1, 1.0, -1.0)
+
+    def test_rejects_equal_terminals(self):
+        with pytest.raises(InvalidRequestError):
+            Request(2, 2, 1.0, 1.0)
+
+    def test_with_type_preserves_terminals_and_name(self):
+        r = Request(0, 1, 0.5, 2.0, name="x")
+        r2 = r.with_type(demand=0.25, value=9.0)
+        assert (r2.source, r2.target, r2.name) == (0, 1, "x")
+        assert r2.type == (0.25, 9.0)
+        # Original is unchanged (frozen dataclass).
+        assert r.type == (0.5, 2.0)
+
+    def test_with_value_and_with_demand(self):
+        r = Request(0, 1, 0.5, 2.0)
+        assert r.with_value(7.0).value == 7.0
+        assert r.with_demand(0.1).demand == 0.1
+
+    def test_dominates_type_of(self):
+        base = Request(0, 1, 0.5, 2.0)
+        assert base.with_type(demand=0.4, value=3.0).dominates_type_of(base)
+        assert base.dominates_type_of(base)
+        assert not base.with_type(demand=0.9).dominates_type_of(base)
+        assert not Request(0, 2, 0.4, 3.0).dominates_type_of(base)
+
+    def test_normalize_requests_from_tuples(self):
+        reqs = normalize_requests([(0, 1, 0.5, 2.0), Request(1, 2, 1.0, 1.0, name="keep")])
+        assert reqs[0].name == "r0"
+        assert reqs[1].name == "keep"
+        with pytest.raises(InvalidRequestError):
+            normalize_requests([(0, 1, 0.5)])
+
+
+class TestUFPInstance:
+    def test_construction_and_sizes(self, diamond_instance):
+        assert diamond_instance.num_requests == 3
+        assert diamond_instance.num_edges == 5
+        assert diamond_instance.num_vertices == 4
+        assert diamond_instance.max_demand == 1.0
+        assert diamond_instance.min_demand == 0.5
+        assert diamond_instance.total_value == 6.0
+
+    def test_rejects_out_of_range_terminals(self, diamond_graph):
+        with pytest.raises(InvalidInstanceError):
+            UFPInstance(diamond_graph, [Request(0, 9, 1.0, 1.0)])
+
+    def test_capacity_bound(self, diamond_instance):
+        # B = min capacity / max demand = 1.0 / 1.0.
+        assert diamond_instance.capacity_bound() == 1.0
+
+    def test_capacity_assumption_and_minimum_epsilon(self):
+        graph = CapacitatedGraph(2, [(0, 1, 100.0)], directed=True)
+        instance = UFPInstance(graph, [Request(0, 1, 1.0, 1.0)])
+        assert instance.meets_capacity_assumption(0.5)
+        assert instance.minimum_epsilon() < 0.5
+        tight = UFPInstance(
+            CapacitatedGraph(2, [(0, 1, 0.5)], directed=True), [Request(0, 1, 0.4, 1.0)]
+        )
+        assert not tight.meets_capacity_assumption(0.2)
+
+    def test_normalized_scales_demands_and_capacities(self, diamond_graph):
+        instance = UFPInstance(diamond_graph, [Request(0, 3, 2.0, 1.0)])
+        normalized = instance.normalized()
+        assert normalized.max_demand == pytest.approx(1.0)
+        assert normalized.graph.min_capacity == pytest.approx(0.5)
+        # Capacity bound (a ratio) is invariant under normalization.
+        assert normalized.capacity_bound() == pytest.approx(instance.capacity_bound())
+
+    def test_normalized_noop_when_already_normalized(self, diamond_instance):
+        assert diamond_instance.normalized() is diamond_instance
+
+    def test_replace_request_keeps_position(self, diamond_instance):
+        new = diamond_instance.requests[1].with_value(99.0)
+        replaced = diamond_instance.replace_request(1, new)
+        assert replaced.requests[1].value == 99.0
+        assert replaced.requests[0] == diamond_instance.requests[0]
+        assert diamond_instance.requests[1].value == 2.0
+        with pytest.raises(IndexError):
+            diamond_instance.replace_request(9, new)
+
+    def test_request_index(self, diamond_instance):
+        assert diamond_instance.request_index(diamond_instance.requests[2]) == 2
+        with pytest.raises(KeyError):
+            diamond_instance.request_index(Request(0, 3, 1.0, 1.0, name="ghost"))
+
+    def test_arrays(self, diamond_instance):
+        np.testing.assert_allclose(diamond_instance.demands_array(), [1.0, 1.0, 0.5])
+        np.testing.assert_allclose(diamond_instance.values_array(), [3.0, 2.0, 1.0])
+
+
+class TestAllocation:
+    def test_from_paths_and_value(self, diamond_instance):
+        allocation = Allocation.from_paths(
+            diamond_instance, [(0, [0, 1, 3]), (2, [0, 2, 3])], algorithm="manual"
+        )
+        assert allocation.value == 4.0
+        assert allocation.num_selected == 2
+        assert allocation.is_selected(0) and not allocation.is_selected(1)
+        assert len(allocation) == 2
+
+    def test_edge_loads_and_utilization(self, diamond_instance):
+        allocation = Allocation.from_paths(
+            diamond_instance, [(0, [0, 1, 3]), (1, [0, 1, 3])]
+        )
+        loads = allocation.edge_loads()
+        np.testing.assert_allclose(loads, [2.0, 0.0, 2.0, 0.0, 0.0])
+        assert allocation.max_utilization() == pytest.approx(1.0)
+
+    def test_validate_rejects_overload(self, diamond_instance):
+        allocation = Allocation.from_paths(
+            diamond_instance, [(0, [0, 3]), (1, [0, 3])]
+        )
+        # The 0 -> 3 shortcut has capacity 1 but carries demand 2.
+        assert not allocation.is_feasible()
+        with pytest.raises(InfeasibleAllocationError):
+            allocation.validate()
+
+    def test_validate_rejects_duplicate_selection_without_repetitions(self, diamond_instance):
+        allocation = Allocation.from_paths(
+            diamond_instance, [(0, [0, 1, 3]), (0, [0, 2, 3])]
+        )
+        with pytest.raises(InfeasibleAllocationError):
+            allocation.validate()
+        allocation.validate(allow_repetitions=True)
+
+    def test_from_paths_validates_terminals(self, diamond_instance):
+        with pytest.raises(InvalidInstanceError):
+            Allocation.from_paths(diamond_instance, [(0, [1, 3])])
+
+    def test_from_paths_rejects_bad_index(self, diamond_instance):
+        with pytest.raises(InvalidInstanceError):
+            Allocation.from_paths(diamond_instance, [(7, [0, 3])])
+
+    def test_empty_allocation(self, diamond_instance):
+        allocation = Allocation.empty(diamond_instance)
+        assert allocation.value == 0.0
+        assert allocation.is_feasible()
+        assert allocation.max_utilization() == 0.0
+
+    def test_copies_multiply_value(self, diamond_instance):
+        allocation = Allocation.from_paths(
+            diamond_instance, [(2, [0, 2, 3])], copies=[3]
+        )
+        assert allocation.value == 3.0
+        assert allocation.edge_loads()[1] == pytest.approx(1.5)
+
+
+class TestGenerators:
+    def test_random_requests_respect_pools_and_ranges(self, diamond_graph):
+        reqs = random_requests(
+            diamond_graph, 20, demand_range=(0.2, 0.4), value_range=(1.0, 2.0),
+            sources=[0], targets=[3], seed=1,
+        )
+        assert len(reqs) == 20
+        assert all(r.source == 0 and r.target == 3 for r in reqs)
+        assert all(0.2 <= r.demand <= 0.4 for r in reqs)
+        assert all(1.0 <= r.value <= 2.0 for r in reqs)
+
+    def test_random_requests_value_proportional(self, diamond_graph):
+        reqs = random_requests(
+            diamond_graph, 30, value_proportional_to_demand=True,
+            value_range=(1.0, 1.0), demand_range=(0.5, 0.5), seed=2,
+        )
+        assert all(r.value == pytest.approx(0.5) for r in reqs)
+
+    def test_random_instance_metadata_and_determinism(self):
+        a = random_instance(num_vertices=8, num_requests=10, seed=5)
+        b = random_instance(num_vertices=8, num_requests=10, seed=5)
+        assert a.metadata["kind"] == "random"
+        assert [r.type for r in a.requests] == [r.type for r in b.requests]
+
+    def test_hotspot_instance_targets_concentrated(self):
+        instance = hotspot_instance(num_requests=50, num_hotspots=2, hotspot_fraction=1.0, seed=3)
+        hotspots = set(instance.metadata["hotspots"])
+        assert all(r.target in hotspots for r in instance.requests)
+
+    def test_isp_instance_requests_between_leaves(self):
+        instance = isp_instance(num_core=3, leaves_per_core=2, num_requests=20, seed=4)
+        leaves = set(range(3, instance.num_vertices))
+        assert all(r.source in leaves and r.target in leaves for r in instance.requests)
+
+    def test_staircase_instance_metadata(self):
+        instance = staircase_instance(5, 4)
+        assert instance.metadata["known_optimum"] == 20.0
+        assert instance.num_requests == 20
+        assert instance.capacity_bound() == 4.0
+
+    def test_ring7_instance_metadata(self):
+        instance = ring7_instance(6)
+        assert instance.metadata["known_optimum"] == 24.0
+        assert instance.num_requests == 24
+
+    def test_invalid_generator_arguments(self, diamond_graph):
+        with pytest.raises(InvalidInstanceError):
+            random_requests(diamond_graph, 5, demand_range=(0.0, 0.5))
+        with pytest.raises(InvalidInstanceError):
+            random_requests(diamond_graph, 5, value_range=(2.0, 1.0))
+        with pytest.raises(InvalidInstanceError):
+            hotspot_instance(hotspot_fraction=0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    demand=st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+    value=st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+    factor_d=st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+    factor_v=st.floats(min_value=1.0, max_value=10.0, allow_nan=False),
+)
+def test_property_domination_is_reflexive_and_directional(demand, value, factor_d, factor_v):
+    """Lowering demand and raising value always dominates the original type."""
+    base = Request(0, 1, demand, value)
+    stronger = base.with_type(demand=demand * factor_d, value=value * factor_v)
+    assert stronger.dominates_type_of(base)
+    if factor_d < 0.999 or factor_v > 1.001:
+        assert not base.dominates_type_of(stronger)

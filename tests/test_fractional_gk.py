@@ -1,0 +1,87 @@
+"""Tests for the Garg–Könemann fractional FPTAS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.flows import Request, UFPInstance, random_instance
+from repro.fractional import garg_konemann_fractional_ufp
+from repro.graphs import CapacitatedGraph
+from repro.lp import solve_fractional_ufp
+
+
+class TestGargKonemann:
+    def test_primal_never_exceeds_lp_and_dual_bound_covers_it(self):
+        for seed in range(3):
+            instance = random_instance(
+                num_vertices=8, edge_probability=0.35, capacity=4.0,
+                num_requests=15, demand_range=(0.5, 1.0), seed=seed,
+            )
+            lp = solve_fractional_ufp(instance).objective
+            gk = garg_konemann_fractional_ufp(instance, 0.15)
+            assert gk.objective <= lp + 1e-6
+            assert gk.dual_bound >= lp - 1e-6
+            assert gk.certified_gap >= 1.0 - 1e-9
+
+    def test_reasonable_primal_quality(self):
+        instance = random_instance(
+            num_vertices=8, edge_probability=0.4, capacity=6.0,
+            num_requests=20, demand_range=(0.4, 1.0), seed=7,
+        )
+        lp = solve_fractional_ufp(instance).objective
+        gk = garg_konemann_fractional_ufp(instance, 0.1)
+        # The theoretical guarantee is (1 - O(eps)); assert a conservative
+        # two-thirds to keep the test robust to the scaling correction.
+        assert gk.objective >= 0.66 * lp
+
+    def test_feasibility_of_scaled_solution(self):
+        instance = random_instance(
+            num_vertices=7, edge_probability=0.4, capacity=3.0,
+            num_requests=18, demand_range=(0.5, 1.0), seed=3,
+        )
+        gk = garg_konemann_fractional_ufp(instance, 0.2)
+        capacities = instance.graph.capacities
+        assert (gk.edge_loads <= capacities + 1e-9).all()
+        # Per-request caps respected in the no-repetitions mode.
+        assert (gk.routed_fraction <= 1.0 + 1e-9).all()
+
+    def test_repetitions_mode_can_exceed_per_request_cap(self):
+        graph = CapacitatedGraph(2, [(0, 1, 10.0)], directed=True)
+        instance = UFPInstance(graph, [Request(0, 1, 1.0, 2.0)])
+        plain = garg_konemann_fractional_ufp(instance, 0.1)
+        repeat = garg_konemann_fractional_ufp(instance, 0.1, repetitions=True)
+        assert plain.routed_fraction[0] <= 1.0 + 1e-9
+        assert repeat.routed_fraction[0] > 1.0
+        assert repeat.objective > plain.objective
+
+    def test_paths_used_are_consistent(self, contended_instance):
+        gk = garg_konemann_fractional_ufp(contended_instance, 0.2)
+        total_by_request = {}
+        for request_index, edge_ids, flow in gk.paths_used:
+            assert flow >= 0.0
+            assert all(0 <= e < contended_instance.num_edges for e in edge_ids)
+            total_by_request[request_index] = total_by_request.get(request_index, 0.0) + flow
+        for idx, total in total_by_request.items():
+            assert total == pytest.approx(gk.routed_fraction[idx], rel=1e-6, abs=1e-9)
+
+    def test_empty_requests(self, diamond_graph):
+        gk = garg_konemann_fractional_ufp(UFPInstance(diamond_graph, []), 0.2)
+        assert gk.objective == 0.0
+        assert gk.dual_bound == 0.0
+
+    def test_invalid_epsilon(self, contended_instance):
+        with pytest.raises(ValueError):
+            garg_konemann_fractional_ufp(contended_instance, 0.0)
+        with pytest.raises(ValueError):
+            garg_konemann_fractional_ufp(contended_instance, 1.0)
+
+    def test_graph_without_edges_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            garg_konemann_fractional_ufp(UFPInstance(CapacitatedGraph(2, []), []), 0.2)
+
+    def test_stats_recorded(self, contended_instance):
+        gk = garg_konemann_fractional_ufp(contended_instance, 0.2)
+        assert gk.stats.iterations > 0
+        assert gk.stats.shortest_path_calls >= gk.stats.iterations
+        assert gk.stats.extra["epsilon"] == 0.2

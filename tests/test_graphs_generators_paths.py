@@ -1,0 +1,186 @@
+"""Tests for graph generators, path utilities and networkx interop."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidInstanceError, NoPathError
+from repro.graphs import (
+    CapacitatedGraph,
+    from_networkx,
+    grid_graph,
+    is_simple_path,
+    isp_topology,
+    path_edge_ids,
+    path_length,
+    random_digraph,
+    random_graph,
+    ring_graph,
+    to_networkx,
+    validate_path,
+)
+
+
+class TestRandomGenerators:
+    def test_random_digraph_connected_by_default(self):
+        graph = random_digraph(15, 0.1, 10.0, seed=0)
+        nxg = to_networkx(graph)
+        assert nx.is_strongly_connected(nxg)
+
+    def test_random_graph_connected_by_default(self):
+        graph = random_graph(15, 0.05, 10.0, seed=0)
+        assert nx.is_connected(to_networkx(graph))
+
+    def test_capacity_range_respected(self):
+        graph = random_digraph(10, 0.3, (2.0, 7.0), seed=1)
+        caps = graph.capacities
+        assert np.all(caps >= 2.0) and np.all(caps <= 7.0)
+
+    def test_constant_capacity(self):
+        graph = random_graph(8, 0.3, 5.0, seed=2)
+        assert np.all(graph.capacities == 5.0)
+
+    def test_deterministic_given_seed(self):
+        a = random_digraph(10, 0.3, 4.0, seed=42)
+        b = random_digraph(10, 0.3, 4.0, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_digraph(10, 0.3, 4.0, seed=1)
+        b = random_digraph(10, 0.3, 4.0, seed=2)
+        assert a != b
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_digraph(5, 1.5, 1.0)
+
+    def test_invalid_capacity_range_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_digraph(5, 0.2, (3.0, 1.0))
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            random_digraph(1, 0.2, 1.0)
+
+
+class TestStructuredGenerators:
+    def test_grid_undirected_edge_count(self):
+        graph = grid_graph(3, 4, 2.0)
+        # 3*3 horizontal + 2*4 vertical = 9 + 8 = 17 edges.
+        assert graph.num_edges == 17
+        assert graph.num_vertices == 12
+        assert not graph.directed
+
+    def test_grid_directed_doubles_edges(self):
+        undirected = grid_graph(3, 3, 2.0)
+        directed = grid_graph(3, 3, 2.0, directed=True)
+        assert directed.num_edges == 2 * undirected.num_edges
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(InvalidInstanceError):
+            grid_graph(0, 3, 1.0)
+
+    def test_ring(self):
+        graph = ring_graph(6, 3.0)
+        assert graph.num_edges == 6
+        assert graph.num_vertices == 6
+        assert graph.min_capacity == 3.0
+
+    def test_ring_too_small(self):
+        with pytest.raises(InvalidInstanceError):
+            ring_graph(2, 1.0)
+
+    def test_isp_topology_structure(self):
+        graph = isp_topology(4, 3, 100.0, 10.0)
+        # Core clique: C(4,2) = 6 edges; access: 4 * 3 = 12 edges.
+        assert graph.num_edges == 6 + 12
+        assert graph.num_vertices == 4 + 12
+        assert graph.min_capacity == 10.0
+        assert graph.max_capacity == 100.0
+
+    def test_isp_topology_directed(self):
+        graph = isp_topology(3, 2, 50.0, 5.0, directed=True)
+        assert graph.directed
+        assert graph.num_edges == 2 * (3 + 6)
+
+
+class TestNetworkxInterop:
+    def test_round_trip_directed(self, diamond_graph):
+        nxg = to_networkx(diamond_graph)
+        back, mapping = from_networkx(nxg)
+        assert back.num_vertices == diamond_graph.num_vertices
+        assert back.num_edges == diamond_graph.num_edges
+        assert set(mapping.values()) == set(range(4))
+
+    def test_from_networkx_requires_capacity(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge("a", "b")
+        with pytest.raises(InvalidInstanceError):
+            from_networkx(nxg)
+
+    def test_from_networkx_default_capacity(self):
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        graph, mapping = from_networkx(nxg, default_capacity=7.0)
+        assert graph.min_capacity == 7.0
+        assert set(mapping) == {"a", "b"}
+
+
+class TestPathUtilities:
+    def test_path_edge_ids_basic(self, diamond_graph):
+        assert path_edge_ids(diamond_graph, [0, 1, 3]) == (0, 2)
+
+    def test_path_edge_ids_missing_edge(self, diamond_graph):
+        with pytest.raises(NoPathError):
+            path_edge_ids(diamond_graph, [1, 0])
+
+    def test_path_edge_ids_parallel_edges_pick_by_weight(self):
+        graph = CapacitatedGraph(2, [(0, 1, 1.0), (0, 1, 2.0)], directed=True)
+        weights = np.array([5.0, 0.5])
+        assert path_edge_ids(graph, [0, 1], weights=weights) == (1,)
+        # Without weights the larger-capacity edge is used.
+        assert path_edge_ids(graph, [0, 1]) == (1,)
+
+    def test_path_length(self):
+        weights = np.array([0.5, 1.5, 2.0])
+        assert path_length(weights, [0, 2]) == pytest.approx(2.5)
+        assert path_length(weights, []) == 0.0
+
+    def test_is_simple_path(self):
+        assert is_simple_path([0, 1, 2])
+        assert not is_simple_path([0, 1, 0])
+
+    def test_validate_path_checks_terminals(self, diamond_graph):
+        assert validate_path(diamond_graph, [0, 1, 3], source=0, target=3) == (0, 2)
+        with pytest.raises(InvalidInstanceError):
+            validate_path(diamond_graph, [0, 1, 3], source=1)
+        with pytest.raises(InvalidInstanceError):
+            validate_path(diamond_graph, [0, 1, 3], target=1)
+
+    def test_validate_path_rejects_non_simple(self, parallel_paths_graph):
+        with pytest.raises(InvalidInstanceError):
+            validate_path(parallel_paths_graph, [0, 1, 0, 2, 3])
+
+    def test_validate_path_rejects_unknown_vertex(self, diamond_graph):
+        with pytest.raises(InvalidInstanceError):
+            validate_path(diamond_graph, [0, 9])
+
+    def test_validate_path_rejects_empty(self, diamond_graph):
+        with pytest.raises(InvalidInstanceError):
+            validate_path(diamond_graph, [])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+)
+def test_property_grid_edge_count(rows, cols):
+    """The mesh has rows*(cols-1) + (rows-1)*cols edges."""
+    graph = grid_graph(rows, cols, 1.0)
+    assert graph.num_edges == rows * (cols - 1) + (rows - 1) * cols
+    assert graph.num_vertices == rows * cols

@@ -1,0 +1,123 @@
+"""Tests for the Figure 2 / Figure 3 adversarial constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import (
+    directed_staircase,
+    ring7_optimal_value,
+    staircase_optimal_value,
+    undirected_ring7,
+)
+from repro.graphs.lower_bounds import (
+    ring7_reasonable_upper_bound,
+    staircase_reasonable_upper_bound,
+)
+from repro.graphs.shortest_path import single_source_dijkstra
+
+
+class TestDirectedStaircase:
+    def test_sizes_match_figure_2(self):
+        ell, B = 5, 3
+        graph, requests, layout = directed_staircase(ell, B)
+        # Arcs s_i -> v_j for j >= i: ell*(ell+1)/2, plus ell arcs v_j -> t.
+        assert graph.num_edges == ell * (ell + 1) // 2 + ell
+        assert graph.num_vertices == 2 * ell + 1
+        assert len(requests) == ell * B
+        assert graph.directed
+        assert layout["target"] == 2 * ell
+
+    def test_all_capacities_equal_B(self):
+        graph, _, _ = directed_staircase(4, 7)
+        assert np.all(graph.capacities == 7.0)
+
+    def test_requests_are_unit_type(self):
+        _, requests, _ = directed_staircase(3, 2)
+        assert all(d == 1.0 and v == 1.0 for (_, _, d, v) in requests)
+
+    def test_connectivity_structure(self):
+        ell = 4
+        graph, _, layout = directed_staircase(ell, 2)
+        # s_i has arcs exactly to v_j with j >= i.
+        for i in range(ell):
+            heads, _ = graph.out_arcs(layout[f"source_{i}"])
+            reachable_intermediates = sorted(int(h) - ell for h in heads)
+            assert reachable_intermediates == list(range(i, ell))
+
+    def test_every_request_routable(self):
+        graph, requests, _ = directed_staircase(4, 3)
+        weights = np.ones(graph.num_edges)
+        for s, t, _, _ in requests:
+            tree = single_source_dijkstra(graph, s, weights, targets={t})
+            assert tree.reachable(t)
+
+    def test_optimal_value_formula(self):
+        assert staircase_optimal_value(6, 5) == 30.0
+
+    def test_reasonable_upper_bound_below_optimum_for_large_ell(self):
+        ell, B = 60, 4
+        assert staircase_reasonable_upper_bound(ell, B) < staircase_optimal_value(ell, B)
+
+    def test_subdivided_variant_has_more_edges_and_same_requests(self):
+        plain, requests_plain, _ = directed_staircase(4, 3)
+        subdivided, requests_sub, _ = directed_staircase(4, 3, subdivide=True)
+        assert subdivided.num_edges > plain.num_edges
+        assert requests_sub == requests_plain
+        # Every request remains routable in the subdivided graph.
+        weights = np.ones(subdivided.num_edges)
+        for s, t, _, _ in requests_sub:
+            tree = single_source_dijkstra(subdivided, s, weights, targets={t})
+            assert tree.reachable(t)
+
+    def test_subdivided_path_lengths_break_ties(self):
+        # In the subdivided graph the s_i -> v_j path has (i+1)*ell - j edges
+        # (0-indexed), so for a fixed source larger j means a shorter path.
+        ell = 3
+        graph, _, layout = directed_staircase(ell, 2, subdivide=True)
+        weights = np.ones(graph.num_edges)
+        tree = single_source_dijkstra(graph, layout["source_0"], weights)
+        hops = [tree.distance(layout[f"intermediate_{j}"]) for j in range(ell)]
+        assert hops[0] > hops[1] > hops[2]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            directed_staircase(0, 3)
+        with pytest.raises(InvalidInstanceError):
+            directed_staircase(3, 0)
+
+
+class TestUndirectedRing7:
+    def test_sizes_match_figure_3(self):
+        graph, requests, layout = undirected_ring7(4)
+        assert graph.num_vertices == 7
+        assert graph.num_edges == 8
+        assert len(requests) == 4 * 4
+        assert not graph.directed
+        assert layout["v7"] == 6
+
+    def test_capacity_must_be_even(self):
+        with pytest.raises(InvalidInstanceError):
+            undirected_ring7(3)
+        with pytest.raises(InvalidInstanceError):
+            undirected_ring7(0)
+
+    def test_request_groups(self):
+        B = 6
+        _, requests, _ = undirected_ring7(B)
+        pairs = [(s, t) for s, t, _, _ in requests]
+        for expected in [(0, 2), (3, 5), (0, 5), (2, 3)]:
+            assert pairs.count(expected) == B
+
+    def test_optimal_value(self):
+        assert ring7_optimal_value(10) == 40.0
+        assert ring7_reasonable_upper_bound(10) == 30.0
+
+    def test_every_request_routable(self):
+        graph, requests, _ = undirected_ring7(4)
+        weights = np.ones(graph.num_edges)
+        for s, t, _, _ in requests:
+            tree = single_source_dijkstra(graph, s, weights, targets={t})
+            assert tree.reachable(t)

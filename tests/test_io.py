@@ -1,0 +1,141 @@
+"""Tests for JSON serialization of instances and allocations."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import io
+from repro.auctions import MUCAAllocation, random_auction
+from repro.core import bounded_muca, bounded_ufp
+from repro.exceptions import InvalidInstanceError
+from repro.flows import random_instance, staircase_instance
+
+
+class TestUFPInstanceRoundTrip:
+    def test_round_trip_preserves_everything(self, diamond_instance):
+        payload = io.ufp_instance_to_dict(diamond_instance)
+        rebuilt = io.ufp_instance_from_dict(payload)
+        assert rebuilt.num_vertices == diamond_instance.num_vertices
+        assert rebuilt.num_edges == diamond_instance.num_edges
+        assert rebuilt.graph == diamond_instance.graph
+        assert [r.type for r in rebuilt.requests] == [r.type for r in diamond_instance.requests]
+        assert [r.name for r in rebuilt.requests] == [r.name for r in diamond_instance.requests]
+        assert rebuilt.name == diamond_instance.name
+
+    def test_round_trip_random_instance_with_metadata(self):
+        instance = random_instance(num_vertices=8, num_requests=12, seed=3)
+        rebuilt = io.ufp_instance_from_dict(io.ufp_instance_to_dict(instance))
+        assert rebuilt.metadata["kind"] == "random"
+        assert rebuilt.capacity_bound() == pytest.approx(instance.capacity_bound())
+
+    def test_round_trip_staircase_metadata_layout(self):
+        instance = staircase_instance(4, 3)
+        rebuilt = io.ufp_instance_from_dict(io.ufp_instance_to_dict(instance))
+        assert rebuilt.metadata["known_optimum"] == 12.0
+        assert rebuilt.metadata["layout"]["target"] == 8
+
+    def test_payload_is_json_serializable(self, diamond_instance):
+        payload = io.ufp_instance_to_dict(diamond_instance)
+        text = json.dumps(payload)
+        assert "ufp_instance" in text
+
+    def test_schema_and_kind_are_checked(self, diamond_instance):
+        payload = io.ufp_instance_to_dict(diamond_instance)
+        wrong_schema = dict(payload, schema=99)
+        with pytest.raises(InvalidInstanceError):
+            io.ufp_instance_from_dict(wrong_schema)
+        wrong_kind = dict(payload, kind="muca_instance")
+        with pytest.raises(InvalidInstanceError):
+            io.ufp_instance_from_dict(wrong_kind)
+
+
+class TestMUCAInstanceRoundTrip:
+    def test_round_trip(self, tiny_auction):
+        rebuilt = io.muca_instance_from_dict(io.muca_instance_to_dict(tiny_auction))
+        assert rebuilt == tiny_auction
+
+    def test_round_trip_random_auction(self):
+        auction = random_auction(num_items=9, num_bids=20, multiplicity=(2.0, 5.0), seed=1)
+        rebuilt = io.muca_instance_from_dict(io.muca_instance_to_dict(auction))
+        np.testing.assert_allclose(rebuilt.multiplicities, auction.multiplicities)
+        assert rebuilt.bids == auction.bids
+
+
+class TestAllocationRoundTrip:
+    def test_ufp_allocation_round_trip(self, contended_instance):
+        allocation = bounded_ufp(contended_instance, 1.0)
+        payload = io.allocation_to_dict(allocation)
+        rebuilt = io.allocation_from_dict(payload)
+        assert rebuilt.value == pytest.approx(allocation.value)
+        assert rebuilt.selected_indices() == allocation.selected_indices()
+        assert [r.edge_ids for r in rebuilt.routed] == [r.edge_ids for r in allocation.routed]
+        rebuilt.validate()
+
+    def test_ufp_allocation_with_repetitions(self, roomy_diamond_instance):
+        from repro.core import bounded_ufp_repeat
+
+        allocation = bounded_ufp_repeat(roomy_diamond_instance, 1.0, max_iterations=5)
+        rebuilt = io.allocation_from_dict(io.allocation_to_dict(allocation))
+        assert rebuilt.value == pytest.approx(allocation.value)
+        rebuilt.validate(allow_repetitions=True)
+
+    def test_muca_allocation_round_trip(self, tiny_auction):
+        allocation = MUCAAllocation.from_winners(tiny_auction, [0, 2], algorithm="manual")
+        rebuilt = io.muca_allocation_from_dict(io.muca_allocation_to_dict(allocation))
+        assert rebuilt.winners == [0, 2]
+        assert rebuilt.value == pytest.approx(allocation.value)
+        assert rebuilt.algorithm == "manual"
+
+
+class TestFiles:
+    def test_save_and_load_instance(self, tmp_path, contended_instance):
+        path = io.save_json(contended_instance, tmp_path / "instance.json")
+        loaded = io.load_json(path)
+        assert loaded.num_requests == 3
+
+    def test_save_and_load_allocation(self, tmp_path, contended_instance):
+        allocation = bounded_ufp(contended_instance, 1.0)
+        path = io.save_json(allocation, tmp_path / "allocation.json")
+        loaded = io.load_json(path)
+        assert loaded.value == pytest.approx(allocation.value)
+
+    def test_save_and_load_auction_objects(self, tmp_path, tiny_auction):
+        io.save_json(tiny_auction, tmp_path / "auction.json")
+        loaded = io.load_json(tmp_path / "auction.json")
+        assert loaded == tiny_auction
+        allocation = bounded_muca(
+            random_auction(num_items=6, num_bids=10, multiplicity=20.0, seed=2), 0.5
+        )
+        io.save_json(allocation, tmp_path / "muca_alloc.json")
+        assert io.load_json(tmp_path / "muca_alloc.json").value == pytest.approx(allocation.value)
+
+    def test_save_rejects_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            io.save_json({"not": "supported"}, tmp_path / "x.json")
+
+    def test_load_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 1, "kind": "mystery"}))
+        with pytest.raises(InvalidInstanceError):
+            io.load_json(path)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_round_trip_preserves_algorithm_output(seed):
+    """Serializing and reloading an instance never changes what the algorithm
+    computes on it (the schema loses no information the algorithm reads)."""
+    instance = random_instance(
+        num_vertices=6, edge_probability=0.5, capacity=8.0,
+        num_requests=8, demand_range=(0.4, 1.0), seed=seed,
+    )
+    rebuilt = io.ufp_instance_from_dict(io.ufp_instance_to_dict(instance))
+    original = bounded_ufp(instance, 0.5)
+    again = bounded_ufp(rebuilt, 0.5)
+    assert again.value == pytest.approx(original.value)
+    assert again.selected_indices() == original.selected_indices()

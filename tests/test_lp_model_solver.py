@@ -1,0 +1,148 @@
+"""Tests for the LP builder and the HiGHS solve wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import LPSolveError
+from repro.lp import LinearProgram, solve_lp
+from repro.types import SolverStatus
+
+
+class TestLinearProgramBuilder:
+    def test_variable_bookkeeping(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0, upper=2.0, name="x")
+        y = lp.add_variable(objective=0.5)
+        assert (x, y) == (0, 1)
+        assert lp.num_variables == 2
+        ids = lp.add_variables(3, objective=[1, 2, 3])
+        assert ids == [2, 3, 4]
+
+    def test_add_variables_scalar_objective(self):
+        lp = LinearProgram()
+        ids = lp.add_variables(4, objective=2.0)
+        assert lp.num_variables == 4
+        mats = lp.matrices()
+        np.testing.assert_allclose(mats["c"], [2, 2, 2, 2])
+        assert ids == [0, 1, 2, 3]
+
+    def test_rejects_empty_bounds(self):
+        lp = LinearProgram()
+        with pytest.raises(LPSolveError):
+            lp.add_variable(lower=2.0, upper=1.0)
+
+    def test_rejects_unknown_variable_in_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        with pytest.raises(LPSolveError):
+            lp.add_le_constraint({5: 1.0}, 1.0)
+
+    def test_matrices_shapes(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        y = lp.add_variable(objective=1.0)
+        lp.add_le_constraint({x: 1.0, y: 2.0}, 4.0)
+        lp.add_eq_constraint({x: 1.0}, 1.0)
+        mats = lp.matrices()
+        assert mats["A_ub"].shape == (1, 2)
+        assert mats["A_eq"].shape == (1, 2)
+        np.testing.assert_allclose(mats["b_ub"], [4.0])
+        np.testing.assert_allclose(mats["b_eq"], [1.0])
+
+    def test_objective_mismatch_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(LPSolveError):
+            lp.add_variables(2, objective=[1.0])
+
+
+class TestSolver:
+    def test_simple_maximization(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0, upper=2.0)
+        y = lp.add_variable(objective=1.0, upper=2.0)
+        lp.add_le_constraint({x: 1.0, y: 1.0}, 3.0)
+        sol = solve_lp(lp)
+        assert sol.ok
+        assert sol.objective == pytest.approx(3.0)
+        assert sol.x[x] + sol.x[y] == pytest.approx(3.0)
+
+    def test_empty_program(self):
+        sol = solve_lp(LinearProgram())
+        assert sol.ok and sol.objective == 0.0
+
+    def test_equality_constraints(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=2.0, upper=10.0)
+        y = lp.add_variable(objective=1.0, upper=10.0)
+        lp.add_eq_constraint({x: 1.0, y: 1.0}, 5.0)
+        sol = solve_lp(lp)
+        assert sol.objective == pytest.approx(10.0)  # x = 5, y = 0
+        assert sol.x[x] == pytest.approx(5.0)
+
+    def test_infeasible_raises_by_default(self):
+        lp = LinearProgram()
+        x = lp.add_variable(objective=1.0)
+        lp.add_le_constraint({x: 1.0}, -5.0)  # x >= 0 and x <= -5
+        with pytest.raises(LPSolveError):
+            solve_lp(lp)
+        sol = solve_lp(lp, raise_on_failure=False)
+        assert sol.status is SolverStatus.INFEASIBLE
+        assert not sol.ok
+
+    def test_unbounded_detected(self):
+        lp = LinearProgram()
+        lp.add_variable(objective=1.0)  # no upper bound, no constraints
+        sol = solve_lp(lp, raise_on_failure=False)
+        assert sol.status in (SolverStatus.UNBOUNDED, SolverStatus.ERROR)
+
+    def test_duals_of_knapsack_constraint(self):
+        # max 3a + 2b  s.t. a + b <= 1, 0 <= a, b <= 1: dual of the packing
+        # constraint is 2 (the second-best density), a classic shadow price.
+        lp = LinearProgram()
+        a = lp.add_variable(objective=3.0, upper=1.0)
+        b = lp.add_variable(objective=2.0, upper=1.0)
+        row = lp.add_le_constraint({a: 1.0, b: 1.0}, 1.0)
+        sol = solve_lp(lp)
+        assert sol.objective == pytest.approx(3.0)
+        assert sol.ineq_duals[row] >= 2.0 - 1e-6
+        assert sol.ineq_duals[row] <= 3.0 + 1e-6
+
+    def test_value_of_subset(self):
+        lp = LinearProgram()
+        ids = lp.add_variables(3, objective=[1.0, 2.0, 3.0], upper=1.0)
+        sol = solve_lp(lp)
+        np.testing.assert_allclose(sol.value_of(ids[1:]), [1.0, 1.0])
+
+    def test_program_solve_shortcut(self):
+        lp = LinearProgram()
+        lp.add_variable(objective=4.0, upper=2.5)
+        assert lp.solve().objective == pytest.approx(10.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacities=st.lists(st.floats(min_value=0.5, max_value=10.0), min_size=1, max_size=4),
+    values=st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=6),
+)
+def test_property_fractional_knapsack_matches_greedy(capacities, values):
+    """For a single packing constraint the LP optimum equals the greedy
+    fractional-knapsack value (items have unit weight)."""
+    capacity = float(capacities[0])
+    lp = LinearProgram()
+    ids = [lp.add_variable(objective=v, upper=1.0) for v in values]
+    lp.add_le_constraint({i: 1.0 for i in ids}, capacity)
+    sol = solve_lp(lp)
+
+    remaining = capacity
+    expected = 0.0
+    for v in sorted(values, reverse=True):
+        take = min(1.0, remaining)
+        if take <= 0:
+            break
+        expected += v * take
+        remaining -= take
+    assert sol.objective == pytest.approx(expected, rel=1e-6, abs=1e-6)
