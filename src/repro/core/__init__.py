@@ -11,15 +11,31 @@
   with repetitions.
 * :mod:`repro.core.dual_state` — the exponential dual-weight state machine
   shared by all three.
+* :mod:`repro.core.pricing_engine` — the lazy-greedy path/bundle pricing
+  engine (monotone score caching, shortest-path-tree caching with edge-set
+  invalidation) all three production solvers run on.
+* :mod:`repro.core.reference` — the original eager full-rescoring solver
+  loops, kept as differential-testing oracles for the engine.
 * :mod:`repro.core.reasonable` — the *reasonable iterative path/bundle
   minimizing algorithm* framework of Definitions 3.9/3.10 and 4.3/4.4, used
   to reproduce the lower bounds of Theorems 3.11, 3.12 and 4.5.
 """
 
 from repro.core.dual_state import DualWeights
+from repro.core.pricing_engine import (
+    BundlePricingEngine,
+    PathPricingEngine,
+    PricingStats,
+    Selection,
+)
 from repro.core.bounded_ufp import bounded_ufp, recommended_epsilon
 from repro.core.bounded_muca import bounded_muca
 from repro.core.bounded_ufp_repeat import bounded_ufp_repeat
+from repro.core.reference import (
+    reference_bounded_muca,
+    reference_bounded_ufp,
+    reference_bounded_ufp_repeat,
+)
 from repro.core.reasonable import (
     BoundedUFPPriority,
     HopBiasedPriority,
@@ -35,10 +51,17 @@ from repro.core.reasonable import (
 
 __all__ = [
     "DualWeights",
+    "PathPricingEngine",
+    "BundlePricingEngine",
+    "PricingStats",
+    "Selection",
     "bounded_ufp",
     "recommended_epsilon",
     "bounded_muca",
     "bounded_ufp_repeat",
+    "reference_bounded_ufp",
+    "reference_bounded_ufp_repeat",
+    "reference_bounded_muca",
     "BoundedUFPPriority",
     "HopBiasedPriority",
     "ProductPriority",

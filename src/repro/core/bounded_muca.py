@@ -26,6 +26,7 @@ from typing import Literal
 from repro.auctions.allocation import MUCAAllocation
 from repro.auctions.instance import MUCAInstance
 from repro.core.dual_state import DualWeights
+from repro.core.pricing_engine import BundlePricingEngine
 from repro.exceptions import CapacityBoundError
 from repro.types import RunStats
 
@@ -91,39 +92,32 @@ def bounded_muca(
     start = time.perf_counter()
     duals = DualWeights(instance.multiplicities, float(epsilon))
 
-    pool: set[int] = set(range(instance.num_bids))
+    # Lazy-greedy bundle pricing: scores are vectorized once over a CSR
+    # bid-item incidence layout, then kept as heap lower bounds (item weights
+    # only grow); each iteration re-prices only the bids sharing an item with
+    # a recent winner, with the reference fuzzy tie-breaking by bid index.
+    engine = BundlePricingEngine(instance, duals)
     winners: list[int] = []
     iterations = 0
     stopped_by_budget = False
     iteration_cap = max_iterations if max_iterations is not None else instance.num_bids
 
-    while pool and iterations < iteration_cap:
+    while engine.num_pending and iterations < iteration_cap:
         # Line 3: stopping rule on the dual budget sum_u c_u y_u.
         if not duals.within_budget:
             stopped_by_budget = True
             break
 
-        # Line 4: the bid minimizing (1 / v_r) * sum_{u in U_r} y_u.
-        best_idx = -1
-        best_score = math.inf
-        for i in sorted(pool):
-            bid = instance.bids[i]
-            score = duals.path_length(bid.bundle) / bid.value
-            if score < best_score - 1e-15:
-                best_score = score
-                best_idx = i
-        if best_idx < 0:  # pragma: no cover - pool non-empty implies a best
+        # Lines 4-6: select the bid minimizing (1 / v_r) * sum_{u in U_r} y_u,
+        # multiply its bundle's item weights by exp(eps B / c_u) (one unit per
+        # item) and record the winner.
+        selected = engine.select_and_commit()
+        if selected is None:  # pragma: no cover - pending implies a best
             break
-
-        # Line 5: multiply item weights of the winning bundle by exp(eps B / c_u)
-        # (demand of one unit per item).
-        duals.apply_selection(instance.bids[best_idx].bundle, 1.0)
-        # Line 6: record the winner.
-        winners.append(best_idx)
-        pool.discard(best_idx)
+        winners.append(selected[0])
         iterations += 1
 
-    if pool and not stopped_by_budget and not duals.within_budget:
+    if engine.num_pending and not stopped_by_budget and not duals.within_budget:
         stopped_by_budget = True
 
     stats = RunStats(
@@ -136,6 +130,7 @@ def bounded_muca(
             "dual_budget_limit": duals.budget_limit,
             "epsilon": float(epsilon),
             "capacity_bound": duals.capacity_bound,
+            **engine.stats.as_extra(prefix="pricing_bundle_"),
         },
     )
     return MUCAAllocation(

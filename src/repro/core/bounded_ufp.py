@@ -28,10 +28,10 @@ import warnings
 from typing import Literal
 
 from repro.core.dual_state import DualWeights
+from repro.core.pricing_engine import PathPricingEngine
 from repro.exceptions import CapacityBoundError, InvalidInstanceError
 from repro.flows.allocation import Allocation, RoutedRequest
 from repro.flows.instance import UFPInstance
-from repro.graphs.shortest_path import single_source_dijkstra
 from repro.types import RunStats
 
 __all__ = ["bounded_ufp", "recommended_epsilon"]
@@ -108,9 +108,12 @@ def bounded_ufp(
     Dijkstra is itself deterministic.  The tie-break does not depend on the
     demands or values, which keeps the algorithm monotone.
 
-    *Complexity*: at most ``|R|`` iterations, each performing one Dijkstra
-    per distinct source among the unhandled requests, i.e. ``O(|R|)``
-    shortest-path computations per iteration as in the paper's analysis.
+    *Complexity*: at most ``|R|`` iterations.  The paper's analysis charges
+    one Dijkstra per distinct source per iteration; the implementation runs
+    on the lazy-greedy :class:`~repro.core.pricing_engine.PathPricingEngine`
+    (dual weights are monotone, so cached scores are lower bounds) which
+    amortizes that down to a handful of targeted re-pricings per iteration
+    while producing the exact same selections and paths.
     """
     if not 0.0 < float(epsilon) <= 1.0:
         raise ValueError("epsilon must lie in (0, 1]")
@@ -127,81 +130,56 @@ def bounded_ufp(
     start = time.perf_counter()
     duals = DualWeights(graph.capacities, float(epsilon))
 
-    # L: indices of unhandled requests; requests with no s-t path at all can
-    # never be selected and are dropped from the pool once detected so they
-    # do not trigger repeated Dijkstra work.
-    pool: set[int] = set(range(instance.num_requests))
+    # The engine owns the pool of unhandled requests L: each request sits in
+    # a lazy min-heap keyed by its last-computed normalized length (a valid
+    # lower bound, since duals only grow), requests with no s-t path are
+    # dropped the moment they are detected, and each iteration re-prices only
+    # the requests whose cached score could still win (lines 6-9 of the
+    # algorithm, with identical fuzzy tie-breaking by request index).
+    engine = PathPricingEngine(
+        graph,
+        instance.requests,
+        duals,
+        tie_tolerance=1e-15,
+        index_tie_break=True,
+        remove_selected=True,
+    )
     routed: list[RoutedRequest] = []
     iterations = 0
-    sp_calls = 0
     stopped_by_budget = False
     iteration_cap = max_iterations if max_iterations is not None else instance.num_requests
 
-    while pool and iterations < iteration_cap:
+    while engine.num_pending and iterations < iteration_cap:
         # Line 5: the stopping rule on the dual budget.
         if not duals.within_budget:
             stopped_by_budget = True
             break
 
-        # Lines 6-9: shortest path for every unhandled request, then select
-        # the request with minimal normalized length d_r / v_r * |p_r|.
-        weights = duals.weights
-        by_source: dict[int, list[int]] = {}
-        for idx in pool:
-            by_source.setdefault(instance.requests[idx].source, []).append(idx)
-
-        best_idx = -1
-        best_score = math.inf
-        best_path: tuple[tuple[int, ...], tuple[int, ...]] | None = None
-        unreachable: list[int] = []
-        for source in sorted(by_source):
-            idxs = by_source[source]
-            targets = {instance.requests[i].target for i in idxs}
-            tree = single_source_dijkstra(graph, source, weights, targets=targets)
-            sp_calls += 1
-            for i in sorted(idxs):
-                req = instance.requests[i]
-                if not tree.reachable(req.target):
-                    unreachable.append(i)
-                    continue
-                score = req.demand / req.value * tree.distance(req.target)
-                if score < best_score - 1e-15 or (
-                    abs(score - best_score) <= 1e-15 and i < best_idx
-                ):
-                    best_score = score
-                    best_idx = i
-                    best_path = tree.path_to(req.target)
-
-        for i in unreachable:
-            pool.discard(i)
-        if best_idx < 0:
+        selection = engine.select()
+        if selection is None:
             # No unhandled request is routable (disconnected terminals).
             break
 
-        request = instance.requests[best_idx]
-        vertices, edge_ids = best_path  # type: ignore[misc]
-
-        # Line 10: exponential weight update along the selected path.
-        duals.apply_selection(edge_ids, request.demand)
-        # Line 11: record the selection and remove the request from the pool.
+        # Lines 10-11: exponential weight update along the selected path,
+        # record the selection and remove the request from the pool.
+        engine.commit(selection)
         routed.append(
             RoutedRequest(
-                request_index=best_idx,
-                request=request,
-                vertices=vertices,
-                edge_ids=edge_ids,
+                request_index=selection.index,
+                request=instance.requests[selection.index],
+                vertices=selection.vertices,
+                edge_ids=selection.edge_ids,
                 copies=1,
             )
         )
-        pool.discard(best_idx)
         iterations += 1
 
-    if pool and not stopped_by_budget and not duals.within_budget:
+    if engine.num_pending and not stopped_by_budget and not duals.within_budget:
         stopped_by_budget = True
 
     stats = RunStats(
         iterations=iterations,
-        shortest_path_calls=sp_calls,
+        shortest_path_calls=engine.stats.dijkstra_calls,
         stopped_by_budget=stopped_by_budget,
         wall_time_s=time.perf_counter() - start,
         extra={
@@ -209,6 +187,7 @@ def bounded_ufp(
             "dual_budget_limit": duals.budget_limit,
             "epsilon": float(epsilon),
             "capacity_bound": duals.capacity_bound,
+            **engine.stats.as_extra(),
         },
     )
     return Allocation(

@@ -22,10 +22,10 @@ from typing import Literal
 
 from repro.core.bounded_ufp import _check_capacity_assumption
 from repro.core.dual_state import DualWeights
+from repro.core.pricing_engine import PathPricingEngine
 from repro.exceptions import InvalidInstanceError
 from repro.flows.allocation import Allocation, RoutedRequest
 from repro.flows.instance import UFPInstance
-from repro.graphs.shortest_path import single_source_dijkstra
 from repro.types import RunStats
 
 __all__ = ["bounded_ufp_repeat"]
@@ -90,60 +90,40 @@ def bounded_ufp_repeat(
         else:
             max_iterations = 0
 
-    # Requests with disconnected terminals can never be routed; drop them
-    # once so the main loop only prices routable requests.
-    routable = list(range(instance.num_requests))
+    # The lazy-greedy engine keeps a request selectable after a win
+    # (``remove_selected=False`` — repetitions are the whole point), drops
+    # requests with disconnected terminals on detection, and replays the
+    # reference tie-breaking (strict fuzzy ``<``, first in source/index
+    # iteration order wins).
+    engine = PathPricingEngine(
+        graph,
+        instance.requests,
+        duals,
+        tie_tolerance=1e-15,
+        index_tie_break=False,
+        remove_selected=False,
+    )
     routed: list[RoutedRequest] = []
     iterations = 0
-    sp_calls = 0
     stopped_by_budget = False
 
-    while routable and iterations < max_iterations:
+    while engine.num_pending and iterations < max_iterations:
         # Line 3: stopping rule on the dual budget.
         if not duals.within_budget:
             stopped_by_budget = True
             break
 
-        weights = duals.weights
-        by_source: dict[int, list[int]] = {}
-        for idx in routable:
-            by_source.setdefault(instance.requests[idx].source, []).append(idx)
-
-        best_idx = -1
-        best_score = math.inf
-        best_path: tuple[tuple[int, ...], tuple[int, ...]] | None = None
-        newly_unroutable: list[int] = []
-        for source in sorted(by_source):
-            idxs = by_source[source]
-            targets = {instance.requests[i].target for i in idxs}
-            tree = single_source_dijkstra(graph, source, weights, targets=targets)
-            sp_calls += 1
-            for i in sorted(idxs):
-                req = instance.requests[i]
-                if not tree.reachable(req.target):
-                    newly_unroutable.append(i)
-                    continue
-                score = req.demand / req.value * tree.distance(req.target)
-                if score < best_score - 1e-15:
-                    best_score = score
-                    best_idx = i
-                    best_path = tree.path_to(req.target)
-
-        if newly_unroutable:
-            unroutable = set(newly_unroutable)
-            routable = [i for i in routable if i not in unroutable]
-        if best_idx < 0:
+        selection = engine.select()
+        if selection is None:
             break
 
-        request = instance.requests[best_idx]
-        vertices, edge_ids = best_path  # type: ignore[misc]
-        duals.apply_selection(edge_ids, request.demand)
+        engine.commit(selection)
         routed.append(
             RoutedRequest(
-                request_index=best_idx,
-                request=request,
-                vertices=vertices,
-                edge_ids=edge_ids,
+                request_index=selection.index,
+                request=instance.requests[selection.index],
+                vertices=selection.vertices,
+                edge_ids=selection.edge_ids,
                 copies=1,
             )
         )
@@ -154,7 +134,7 @@ def bounded_ufp_repeat(
 
     stats = RunStats(
         iterations=iterations,
-        shortest_path_calls=sp_calls,
+        shortest_path_calls=engine.stats.dijkstra_calls,
         stopped_by_budget=stopped_by_budget,
         wall_time_s=time.perf_counter() - start,
         extra={
@@ -162,6 +142,7 @@ def bounded_ufp_repeat(
             "dual_budget_limit": duals.budget_limit,
             "epsilon": float(epsilon),
             "capacity_bound": duals.capacity_bound,
+            **engine.stats.as_extra(),
         },
     )
     return Allocation(

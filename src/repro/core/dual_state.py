@@ -111,8 +111,17 @@ class DualWeights:
     def weight_of(self, index: int) -> float:
         return float(self._y[index])
 
-    def path_length(self, edge_ids: Sequence[int]) -> float:
-        """``sum_{e in p} y_e`` for a path/bundle given by edge ids."""
+    def path_length(self, edge_ids: Sequence[int] | np.ndarray) -> float:
+        """``sum_{e in p} y_e`` for a path/bundle given by edge ids.
+
+        Pre-built ``np.ndarray`` id arrays (the pricing engine keeps one per
+        bid / path) are used directly, skipping the ``np.asarray`` round-trip;
+        raw Python sequences are converted as before.
+        """
+        if isinstance(edge_ids, np.ndarray):
+            if edge_ids.size == 0:
+                return 0.0
+            return float(self._y[edge_ids].sum())
         if len(edge_ids) == 0:
             return 0.0
         return float(self._y[np.asarray(edge_ids, dtype=np.int64)].sum())
@@ -120,16 +129,33 @@ class DualWeights:
     # ------------------------------------------------------------------ #
     # Updates
     # ------------------------------------------------------------------ #
-    def apply_selection(self, edge_ids: Sequence[int], demand: float) -> None:
+    def apply_selection(
+        self,
+        edge_ids: Sequence[int] | np.ndarray,
+        demand: float,
+        *,
+        assume_unique: bool = False,
+    ) -> None:
         """Apply line 10 of Algorithm 1: ``y_e *= exp(eps B d / c_e)`` for
         every edge of the selected path (or every item of the bundle with
-        ``demand = 1`` for MUCA)."""
+        ``demand = 1`` for MUCA).
+
+        With ``assume_unique=True`` the caller guarantees ``edge_ids`` is a
+        *sorted* integer array of distinct ids (simple paths and bundles
+        always are once sorted) and the ``np.unique`` round-trip is skipped.
+        Sortedness matters for bit-reproducibility: the incremental budget
+        update is a dot product whose floating-point rounding depends on the
+        summation order, and ``np.unique`` output is sorted.
+        """
         if demand <= 0:
             raise ValueError("demand must be positive")
-        # Paths are simple and bundles are sets, so ids are normally distinct;
-        # de-duplicating here keeps the incremental budget correct even for
-        # callers that pass repeated ids.
-        ids = np.unique(np.asarray(edge_ids, dtype=np.int64))
+        if assume_unique:
+            ids = np.asarray(edge_ids, dtype=np.int64)
+        else:
+            # Paths are simple and bundles are sets, so ids are normally
+            # distinct; de-duplicating here keeps the incremental budget
+            # correct even for callers that pass repeated ids.
+            ids = np.unique(np.asarray(edge_ids, dtype=np.int64))
         if ids.size == 0:
             return
         caps = self._capacities[ids]

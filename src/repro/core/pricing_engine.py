@@ -1,0 +1,702 @@
+"""Lazy-greedy path-pricing engine shared by the primal-dual solvers.
+
+Every solver in this reproduction — ``Bounded-UFP``, ``Bounded-UFP-Repeat``,
+``Bounded-MUCA`` and the Garg–Könemann FPTAS — has the same inner loop: price
+every live request under the current dual weights, select the one minimizing
+a normalized score, multiply the weights along the winner's path (bundle)
+exponentially, repeat.  Priced naively that is one shortest-path tree per
+distinct source *per iteration*; this module amortizes it down to a handful
+of targeted computations per iteration by exploiting one structural fact:
+
+**dual weights are monotone non-decreasing.**  Each update multiplies
+``y_e`` by ``exp(eps B d / c_e) >= 1`` (or ``1 + eps * load >= 1`` for
+Garg–Könemann), so no edge weight ever decreases during a run.
+
+Why lazy scores are sound
+-------------------------
+Let ``score_r(y) = (d_r / v_r) * dist_y(s_r, t_r)`` be the normalized score
+of request ``r`` under weights ``y``.  Shortest-path distances are monotone
+in the edge weights: ``y <= y'`` (componentwise) implies ``dist_y(s, t) <=
+dist_{y'}(s, t)`` for every pair, because every path can only get longer.
+Since the duals only grow, a score computed at any *earlier* point of the run
+is a valid **lower bound** on the current score.  The engine therefore keeps
+all live requests in a min-heap keyed by their last-computed score and runs
+the classic lazy-greedy loop: pop the heap; if the popped entry's score is
+stale, re-price just that request (one targeted shortest-path computation)
+and push it back; once the top of the heap is freshly priced, no stale entry
+can beat it — its cached key already exceeds the fresh minimum — so the
+freshly-priced top is the exact argmin.  The same argument applies verbatim
+to ``Bounded-MUCA`` bundle prices ``sum_{u in U_r} y_u / v_r`` (sums of
+monotone weights are monotone) and to Garg–Könemann column costs
+``(d_r * dist + w_r) / v_r`` (both summands are monotone).
+
+Shortest-path-tree caching with edge-set invalidation
+-----------------------------------------------------
+A selection touches only the edges of one path.  A cached shortest-path tree
+whose *parent-edge set* is disjoint from the updated edges stays **exactly**
+valid — not merely as a bound:
+
+* every vertex keeps a shortest path avoiding the updated edges (the cached
+  tree provides one), and alternative routes only got longer, so all
+  distances are unchanged;
+* with strictly positive weights vertices settle in ``(distance, vertex)``
+  order, which is therefore unchanged, and a non-tree arc whose weight only
+  grew still loses every parent comparison it lost before (parents are
+  overwritten on strict improvement only);
+
+hence a fresh Dijkstra run would reproduce the cached tree *bit for bit*,
+including tie-breaking — which is what keeps the engine's selected paths
+byte-identical to the reference implementation.  Each cached tree carries
+its parent-edge set; a selection evicts exactly the trees whose set
+intersects the selected path.
+
+Because the initial weights ``y_e = 1/c_e`` are a function of the graph
+alone, the trees priced at the start of a run are additionally memoized on
+:attr:`CapacitatedGraph.substrate_cache` and shared across runs — the
+critical-value payment bisection re-runs the whole mechanism dozens of times
+per winner on the same graph and hits this warm cache every probe.
+
+Exactness of the replicated tie-breaking
+----------------------------------------
+The solvers' reference selection loops compare scores with a fuzzy
+tolerance (``1e-15``) and break ties by request index.  The engine refreshes
+not just the top of the heap but every entry whose cached lower bound lies
+within a small band above the freshest minimum — iterating to a fixpoint
+anchored at the current fold winner — then replays the reference comparison
+loop over the refreshed candidates in the reference iteration order.
+Selections therefore match the reference implementations exactly whenever
+distinct scores are separated by more than a few tolerance widths; exact
+ties (identical scores, the only ties arising in practice) are replayed
+perfectly including the index tie-break.  The one theoretical residual:
+chains of *distinct* scores packed within ~``1e-15`` of each other can make
+the reference fold's non-transitive fuzzy comparisons depend on entries the
+engine proves cannot win and hence never refreshes.  Such chains require
+adversarially constructed floats (several distinct doubles within a handful
+of ulps at magnitude ~1) and are exercised nowhere in the differential test
+sweep; the guarantee the rest of the system relies on is byte-identical
+allocations on real instances, which the tests enforce.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.dual_state import DualWeights
+from repro.graphs.graph import CapacitatedGraph
+from repro.graphs.shortest_path import dijkstra_lists
+
+__all__ = [
+    "PathPricingEngine",
+    "BundlePricingEngine",
+    "PricingStats",
+    "Selection",
+    "TIE_TOLERANCE",
+]
+
+#: The fuzzy comparison tolerance of the solvers' selection loops.
+TIE_TOLERANCE = 1e-15
+
+#: Key under which shortest-path trees are memoized on
+#: :attr:`CapacitatedGraph.substrate_cache`, keyed by the exact bytes of the
+#: weight vector they were computed under (sound for any weights: the tree is
+#: a pure function of graph + weights), plus the source vertex.
+_TREE_MEMO_KEY = "pricing_engine/tree_memo"
+
+#: Companion memo for trees computed under the *initial* weights
+#: ``y = 1/c``.  Every run on a graph starts from that vector, so these are
+#: the highest-value entries; they live outside the evictable memo (bounded
+#: naturally by the number of distinct sources) so a cap-triggered clear of
+#: mid-run trees never discards them.
+_INITIAL_TREE_MEMO_KEY = "pricing_engine/tree_memo_initial"
+
+#: Approximate memory budget for one graph's tree memo.  Each entry costs
+#: roughly ``8m`` bytes for the weight-vector key plus three ``n``-slot
+#: Python lists for the tree; the entry cap is derived from this budget (and
+#: clamped to [8, 4096]) so huge graphs keep only a handful of memoized
+#: trees while the small mechanism-design instances that motivate the memo
+#: (payment bisections re-run the solver dozens of times) keep them all.
+_TREE_MEMO_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class PricingStats:
+    """Cache / laziness counters of one engine instance.
+
+    ``dijkstra_calls_saved`` compares against the eager reference strategy
+    (one tree per live source per iteration): it is the number of trees the
+    reference would have computed minus the number actually computed.
+    """
+
+    dijkstra_calls: int = 0
+    tree_reuses: int = 0
+    warm_start_hits: int = 0
+    lazy_pops: int = 0
+    repricings: int = 0
+    trees_invalidated: int = 0
+    eager_equivalent_calls: int = 0
+
+    @property
+    def dijkstra_calls_saved(self) -> int:
+        return max(0, self.eager_equivalent_calls - self.dijkstra_calls)
+
+    def as_extra(self, prefix: str = "pricing_") -> dict[str, float]:
+        """Flatten into :class:`~repro.types.RunStats`-style ``extra`` keys."""
+        return {
+            f"{prefix}dijkstra_calls": float(self.dijkstra_calls),
+            f"{prefix}tree_reuses": float(self.tree_reuses),
+            f"{prefix}warm_start_hits": float(self.warm_start_hits),
+            f"{prefix}lazy_pops": float(self.lazy_pops),
+            f"{prefix}repricings": float(self.repricings),
+            f"{prefix}trees_invalidated": float(self.trees_invalidated),
+            f"{prefix}dijkstra_calls_saved": float(self.dijkstra_calls_saved),
+        }
+
+
+@dataclass(frozen=True)
+class Selection:
+    """One lazy-greedy winner: the request index, its fresh (exact) score and
+    the shortest path it would be routed on."""
+
+    index: int
+    score: float
+    vertices: tuple[int, ...]
+    edge_ids: tuple[int, ...]
+
+
+_INF = math.inf
+
+
+class _PricedTree:
+    """A shortest-path tree as raw Python lists.
+
+    The engine prices requests thousands of times on graphs that are often
+    tiny; keeping the :func:`~repro.graphs.shortest_path.dijkstra_lists`
+    output unwrapped (no numpy array construction, no dataclass) keeps the
+    per-pricing cost at a couple of list indexings.  Contents are identical
+    to the corresponding :class:`ShortestPathResult`.
+    """
+
+    __slots__ = ("source", "dist", "parent_vertex", "parent_edge", "edge_set")
+
+    def __init__(
+        self,
+        source: int,
+        dist: list[float],
+        parent_vertex: list[int],
+        parent_edge: list[int],
+    ) -> None:
+        self.source = source
+        self.dist = dist
+        self.parent_vertex = parent_vertex
+        self.parent_edge = parent_edge
+        used = set(parent_edge)
+        used.discard(-1)
+        self.edge_set = frozenset(used)
+
+    def path_to(self, target: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        vertices = [target]
+        edges: list[int] = []
+        v = target
+        parent_edge = self.parent_edge
+        parent_vertex = self.parent_vertex
+        while v != self.source:
+            edges.append(parent_edge[v])
+            v = parent_vertex[v]
+            vertices.append(v)
+        vertices.reverse()
+        edges.reverse()
+        return tuple(vertices), tuple(edges)
+
+
+def _default_score(index: int, request, distance: float) -> float:
+    # Matches the reference solvers' expression (left-to-right evaluation):
+    # (d_r / v_r) * |p_r|_y.
+    return request.demand / request.value * distance
+
+
+class PathPricingEngine:
+    """Owns the request pool, the dual weights and the shortest-path caches.
+
+    Parameters
+    ----------
+    graph:
+        The capacitated graph; dual weights must be strictly positive (the
+        solvers initialize ``y = 1/c > 0`` and only ever grow them), which
+        the tree-validity argument in the module docstring relies on.
+    requests:
+        Sequence of request objects exposing ``source``, ``target``,
+        ``demand`` and ``value``.
+    duals:
+        The :class:`DualWeights` the engine owns, or ``None`` when the caller
+        manages a raw weight vector itself (Garg–Könemann); then ``weights``
+        must be given and the caller must call :meth:`invalidate_path` after
+        every in-place weight update.
+    weights:
+        The live weight array for ``duals=None`` mode.
+    tie_tolerance / index_tie_break:
+        The reference comparison semantics to replay: ``Bounded-UFP`` uses
+        ``(1e-15, True)``, ``Bounded-UFP-Repeat`` ``(1e-15, False)`` and
+        Garg–Könemann ``(0.0, False)`` (exact ``<``, first in iteration
+        order wins).
+    remove_selected:
+        Whether a selected request leaves the pool (``Bounded-UFP``) or stays
+        selectable again (repetitions / fractional columns).
+    score:
+        Optional ``(index, request, distance) -> float`` pricing override;
+        must be monotone non-decreasing in ``distance`` and any other state
+        it reads must be monotone non-decreasing over the run as well (the
+        lazy lower-bound argument needs it).
+    share_trees:
+        Memoize/reuse shortest-path trees across engine instances via the
+        graph's :attr:`~repro.graphs.graph.CapacitatedGraph.substrate_cache`,
+        keyed by the exact weight-vector bytes — sound for any weights, and
+        a large win for the critical-value payment bisection, whose probe
+        runs repeat long prefixes of the same dual trajectory (starting with
+        the initial ``y = 1/c`` sweep, which is shared by *every* run on the
+        graph).  Disable for weight schedules that never repeat across runs
+        (Garg–Könemann) to avoid pointless memo churn.
+    """
+
+    def __init__(
+        self,
+        graph: CapacitatedGraph,
+        requests: Sequence,
+        duals: DualWeights | None = None,
+        *,
+        weights: np.ndarray | None = None,
+        tie_tolerance: float = TIE_TOLERANCE,
+        index_tie_break: bool = True,
+        remove_selected: bool = True,
+        score: Callable | None = None,
+        share_trees: bool = True,
+    ) -> None:
+        if duals is None and weights is None:
+            raise ValueError("either duals or a live weights array is required")
+        self._graph = graph
+        self._requests = tuple(requests)
+        self._duals = duals
+        self._weights = duals.weights if duals is not None else weights
+        self._n = graph.num_vertices
+        self._csr = graph.csr_lists()
+        # weights.tolist() / weights.tobytes() memoized between weight
+        # updates (cleared by invalidate_path); tree computations and memo
+        # lookups within one iteration share them.
+        self._w_list: list[float] | None = None
+        self._w_bytes: bytes | None = None
+        if share_trees:
+            self._tree_memo = graph.substrate_cache.setdefault(_TREE_MEMO_KEY, {})
+            self._initial_tree_memo = graph.substrate_cache.setdefault(
+                _INITIAL_TREE_MEMO_KEY, {}
+            )
+        else:
+            self._tree_memo = None
+            self._initial_tree_memo = None
+        entry_bytes = 8 * graph.num_edges + 3 * 40 * self._n + 512
+        self._memo_cap = max(8, min(4096, _TREE_MEMO_BUDGET_BYTES // entry_bytes))
+        self._tol = float(tie_tolerance)
+        # Refresh everything whose lower bound lies within this band above
+        # the freshest minimum; 3x the tolerance covers the worst-case drift
+        # of the fuzzy comparison chain (see module docstring).
+        self._band = 3.0 * self._tol
+        self._index_tie_break = bool(index_tie_break)
+        self._remove_selected = bool(remove_selected)
+        self._score = score if score is not None else _default_score
+        self.stats = PricingStats()
+
+        n = len(self._requests)
+        self._selected = bytearray(n)
+        self._dropped = bytearray(n)
+        self._pending = n
+        # Live request count per source — used only for the eager-equivalent
+        # statistics (how many trees the reference strategy would compute).
+        self._source_live: dict[int, int] = {}
+        # source -> tree; all registered trees are exact under the current
+        # weights.
+        self._trees: dict[int, _PricedTree] = {}
+        # edge id -> set of sources whose cached tree uses that edge.
+        self._edge_sources: dict[int, set[int]] = {}
+        # Bumped whenever a source's tree is evicted; heap entries carry the
+        # epoch their score was computed at, so staleness is an int compare.
+        self._source_epoch: dict[int, int] = {}
+        self._heap: list[tuple[float, int, int]] = []
+        self._prime()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pending(self) -> int:
+        """Live requests: not yet selected (when selections remove) and not
+        proven unroutable."""
+        return self._pending
+
+    @property
+    def duals(self) -> DualWeights | None:
+        return self._duals
+
+    # ------------------------------------------------------------------ #
+    # Tree cache
+    # ------------------------------------------------------------------ #
+    def _weights_list(self) -> list[float]:
+        wl = self._w_list
+        if wl is None:
+            wl = self._w_list = self._weights.tolist()
+        return wl
+
+    def _register_tree(self, source: int, tree: _PricedTree) -> None:
+        self._trees[source] = tree
+        for e in tree.edge_set:
+            self._edge_sources.setdefault(e, set()).add(source)
+
+    def _compute_tree(self, source: int) -> _PricedTree:
+        memo = self._tree_memo
+        if memo is not None:
+            wb = self._w_bytes
+            if wb is None:
+                wb = self._w_bytes = self._weights.tobytes()
+            key = (wb, source)
+            tree = self._initial_tree_memo.get(key)
+            if tree is None:
+                tree = memo.get(key)
+            if tree is not None:
+                self.stats.warm_start_hits += 1
+                return tree
+        indptr, heads, eids = self._csr
+        dist, pv, pe = dijkstra_lists(
+            self._n, indptr, heads, eids, self._weights_list(), source
+        )
+        self.stats.dijkstra_calls += 1
+        tree = _PricedTree(source, dist, pv, pe)
+        if memo is not None:
+            if self._duals is not None and self._duals.num_updates == 0:
+                # Initial-weight tree: every future run starts here, so it
+                # is exempt from cap eviction (bounded by #sources).
+                self._initial_tree_memo[key] = tree
+            else:
+                if len(memo) >= self._memo_cap:
+                    memo.clear()
+                memo[key] = tree
+        return tree
+
+    def _get_tree(self, source: int) -> _PricedTree:
+        tree = self._trees.get(source)
+        if tree is None:
+            tree = self._compute_tree(source)
+            self._register_tree(source, tree)
+            return tree
+        self.stats.tree_reuses += 1
+        return tree
+
+    def _invalidate_edges(self, edge_ids: Sequence[int]) -> None:
+        hit: set[int] = set()
+        for e in edge_ids:
+            sources = self._edge_sources.get(e)
+            if sources:
+                hit.update(sources)
+        for source in hit:
+            tree = self._trees.pop(source)
+            for e in tree.edge_set:
+                owners = self._edge_sources.get(e)
+                if owners is not None:
+                    owners.discard(source)
+                    if not owners:
+                        del self._edge_sources[e]
+            self._source_epoch[source] = self._source_epoch.get(source, 0) + 1
+            self.stats.trees_invalidated += 1
+
+    # ------------------------------------------------------------------ #
+    # Pool management
+    # ------------------------------------------------------------------ #
+    def _prime(self) -> None:
+        """Price every request once (at the initial weights) and build the heap."""
+        by_source: dict[int, list[int]] = {}
+        for idx, req in enumerate(self._requests):
+            by_source.setdefault(req.source, []).append(idx)
+            self._source_live[req.source] = self._source_live.get(req.source, 0) + 1
+
+        for source, idxs in by_source.items():
+            tree = self._compute_tree(source)
+            self._register_tree(source, tree)
+            epoch = self._source_epoch.get(source, 0)
+            dist = tree.dist
+            for idx in idxs:
+                req = self._requests[idx]
+                d = dist[req.target]
+                if d == _INF:
+                    self._drop(idx)
+                    continue
+                self._heap.append((self._score(idx, req, d), idx, epoch))
+        heapq.heapify(self._heap)
+
+    def _drop(self, idx: int) -> None:
+        if not self._dropped[idx]:
+            self._dropped[idx] = 1
+            self._retire(idx)
+
+    def _retire(self, idx: int) -> None:
+        self._pending -= 1
+        source = self._requests[idx].source
+        live = self._source_live[source] - 1
+        if live:
+            self._source_live[source] = live
+        else:
+            del self._source_live[source]
+
+    # ------------------------------------------------------------------ #
+    # Lazy-greedy selection
+    # ------------------------------------------------------------------ #
+    def select(self) -> Selection | None:
+        """Return the reference-identical argmin request, or ``None`` when no
+        routable request remains.  Does *not* apply the dual update — call
+        :meth:`commit` (duals mode) or :meth:`invalidate_path` (external
+        weights mode) with the result.
+        """
+        if not self._pending:
+            return None
+        self.stats.eager_equivalent_calls += len(self._source_live)
+        heap = self._heap
+        stats = self.stats
+        fresh: list[tuple[int, int, float]] = []  # (source, index, exact score)
+        fresh_scores: dict[int, float] = {}
+        fresh_trees: dict[int, _PricedTree] = {}
+        anchor = math.inf
+        band = self._band
+        while True:
+            while heap and heap[0][0] <= anchor + band:
+                score, idx, epoch = heapq.heappop(heap)
+                if self._selected[idx] or self._dropped[idx]:
+                    continue  # lazily deleted entry
+                stats.lazy_pops += 1
+                source = self._requests[idx].source
+                if epoch == self._source_epoch.get(source, 0):
+                    # Fresh: computed from a tree that is still exactly valid.
+                    fresh.append((source, idx, score))
+                    fresh_scores[idx] = score
+                    fresh_trees[idx] = self._trees[source]
+                    if score < anchor:
+                        anchor = score
+                else:
+                    tree = self._get_tree(source)
+                    stats.repricings += 1
+                    req = self._requests[idx]
+                    d = tree.dist[req.target]
+                    if d == _INF:
+                        self._drop(idx)
+                        continue
+                    s = self._score(idx, req, d)
+                    heapq.heappush(heap, (s, idx, self._source_epoch.get(source, 0)))
+            if not fresh:
+                return None
+            winner = self._fold(fresh)
+            winner_score = fresh_scores[winner]
+            # The reference folds' fuzzy comparisons make the running best
+            # drift: with the index tie-break it climbs by up to the
+            # tolerance per exact-tie step, and in all fuzzy modes an entry
+            # within one tolerance of the incumbent is rejected without
+            # becoming best.  Re-anchor the refresh band at the current fold
+            # winner and keep refreshing until no remaining lower bound
+            # could still tie or beat it, re-folding each round.
+            if not (band and heap and heap[0][0] <= winner_score + band):
+                break
+            anchor = winner_score
+
+        for source, idx, score in fresh:
+            if idx != winner:
+                heapq.heappush(
+                    heap, (score, idx, self._source_epoch.get(source, 0))
+                )
+        req = self._requests[winner]
+        vertices, edge_ids = fresh_trees[winner].path_to(req.target)
+        return Selection(
+            index=winner, score=winner_score, vertices=vertices, edge_ids=edge_ids
+        )
+
+    def _fold(self, fresh: list[tuple[int, int, float]]) -> int:
+        """Replay the reference selection loop over the fresh candidates.
+
+        Candidates are visited in the reference iteration order — sources
+        ascending, request index ascending within a source — and compared
+        with the reference's exact fuzzy-tolerance expressions.
+        """
+        fresh.sort()
+        tol = self._tol
+        best_idx = -1
+        best_score = math.inf
+        if self._index_tie_break:
+            for _, i, score in fresh:
+                if score < best_score - tol or (
+                    abs(score - best_score) <= tol and i < best_idx
+                ):
+                    best_score = score
+                    best_idx = i
+        elif tol > 0.0:
+            for _, i, score in fresh:
+                if score < best_score - tol:
+                    best_score = score
+                    best_idx = i
+        else:
+            for _, i, score in fresh:
+                if score < best_score:
+                    best_score = score
+                    best_idx = i
+        return best_idx
+
+    # ------------------------------------------------------------------ #
+    # Post-selection updates
+    # ------------------------------------------------------------------ #
+    def commit(self, selection: Selection) -> None:
+        """Apply the exponential dual update for ``selection`` and maintain
+        the caches (duals mode only)."""
+        if self._duals is None:
+            raise RuntimeError(
+                "engine has no DualWeights; update your weights and call "
+                "invalidate_path instead"
+            )
+        req = self._requests[selection.index]
+        # Simple paths have distinct edges, and sorting reproduces the
+        # np.unique ordering, so the incremental budget arithmetic is
+        # bit-identical to the reference.
+        ids = np.asarray(sorted(selection.edge_ids), dtype=np.int64)
+        self._duals.apply_selection(ids, req.demand, assume_unique=True)
+        self.invalidate_path(selection)
+
+    def invalidate_path(self, selection: Selection) -> None:
+        """Evict every cached tree using an edge of the selected path and
+        return (or retire) the winner.  In external-weights mode call this
+        *after* updating the weight array."""
+        # Weights changed: drop the memoized list/bytes forms.
+        self._w_list = None
+        self._w_bytes = None
+        self._invalidate_edges(selection.edge_ids)
+        idx = selection.index
+        if self._remove_selected:
+            self._selected[idx] = 1
+            self._retire(idx)
+        else:
+            # The winner stays selectable; its own tree was just evicted, so
+            # epoch -1 forces a re-pricing before it can win again.  Its old
+            # score remains a valid lower bound (weights only grew).
+            heapq.heappush(self._heap, (selection.score, idx, -1))
+
+
+class BundlePricingEngine:
+    """The ``Bounded-MUCA`` counterpart: items instead of edges, bundle price
+    sums instead of shortest paths.
+
+    Bundle prices ``sum_{u in U_r} y_u`` are monotone non-decreasing for the
+    same reason as path lengths, so the identical lazy-greedy argument
+    applies; instead of tree invalidation, a CSR item->bids incidence index
+    marks exactly the bids sharing an item with the winner as stale.  Initial
+    scores are computed in one vectorized CSR pass (``np.add.reduceat`` over
+    the flattened bundles) and used as heap lower bounds; every score that
+    enters the selection fold is recomputed with the reference expression so
+    comparisons are bit-identical.
+    """
+
+    def __init__(self, instance, duals: DualWeights) -> None:
+        self._duals = duals
+        bids = instance.bids
+        n = len(bids)
+        self._bundles = [np.asarray(b.bundle, dtype=np.int64) for b in bids]
+        self._values = [b.value for b in bids]
+        self._selected = bytearray(n)
+        # All entries start dirty: the vectorized initial scores are heap
+        # ordering keys only, never fold inputs.
+        self._dirty = bytearray(b"\x01") * n
+        self._pending = n
+        self.stats = PricingStats()
+
+        item_to_bids: dict[int, list[int]] = {}
+        for i, bundle in enumerate(self._bundles):
+            for u in bundle.tolist():
+                item_to_bids.setdefault(u, []).append(i)
+        self._item_to_bids = item_to_bids
+
+        if n:
+            flat = np.concatenate(self._bundles)
+            sizes = np.array([b.size for b in self._bundles], dtype=np.int64)
+            starts = np.zeros(n, dtype=np.int64)
+            np.cumsum(sizes[:-1], out=starts[1:])
+            prices = np.add.reduceat(duals.weights[flat], starts)
+            # reduceat sums sequentially while the reference ndarray.sum is
+            # pairwise, so for large bundles the two can differ by a few ulps
+            # in either direction.  Heap keys must be true lower bounds of
+            # the reference scores; shaving a relative 1e-9 (orders of
+            # magnitude above the worst-case summation error, which is
+            # bounded by ~bundle_size * 2^-52 relative) guarantees it, at
+            # the cost of at most one extra heap pop per bid.
+            scores = (prices / np.asarray(self._values, dtype=np.float64)) * (
+                1.0 - 1e-9
+            )
+            self._heap = [(float(scores[i]), i) for i in range(n)]
+            heapq.heapify(self._heap)
+        else:
+            self._heap = []
+
+    @property
+    def num_pending(self) -> int:
+        return self._pending
+
+    def _price(self, idx: int) -> float:
+        # Reference expression: path_length(bundle) / value, with the bundle
+        # ids in the Bid's sorted order so the numpy summation order (and
+        # hence rounding) matches bit for bit.
+        return self._duals.path_length(self._bundles[idx]) / self._values[idx]
+
+    def select_and_commit(self) -> tuple[int, float] | None:
+        """Pick the reference-identical winning bid, apply its dual update and
+        return ``(bid_index, score)`` — or ``None`` when no bid remains."""
+        if not self._pending:
+            return None
+        stats = self.stats
+        stats.eager_equivalent_calls += self._pending
+        heap = self._heap
+        fresh: list[tuple[int, float]] = []
+        anchor = math.inf
+        band = 3.0 * TIE_TOLERANCE
+        while True:
+            while heap and heap[0][0] <= anchor + band:
+                score, idx = heapq.heappop(heap)
+                if self._selected[idx]:
+                    continue
+                stats.lazy_pops += 1
+                if self._dirty[idx]:
+                    s = self._price(idx)
+                    stats.repricings += 1
+                    self._dirty[idx] = 0
+                    heapq.heappush(heap, (s, idx))
+                else:
+                    fresh.append((idx, score))
+                    if score < anchor:
+                        anchor = score
+            if not fresh:  # pragma: no cover - pending > 0 implies a candidate
+                return None
+            fresh.sort()
+            best_idx = -1
+            best_score = math.inf
+            for i, score in fresh:
+                if score < best_score - TIE_TOLERANCE:
+                    best_score = score
+                    best_idx = i
+            # Same fixpoint as PathPricingEngine.select: keep refreshing
+            # while any remaining lower bound could still tie the winner.
+            if not (heap and heap[0][0] <= best_score + band):
+                break
+            anchor = best_score
+        for i, score in fresh:
+            if i != best_idx:
+                heapq.heappush(heap, (score, i))
+
+        self._duals.apply_selection(self._bundles[best_idx], 1.0, assume_unique=True)
+        self._selected[best_idx] = 1
+        self._pending -= 1
+        for u in self._bundles[best_idx].tolist():
+            for j in self._item_to_bids[u]:
+                if not self._selected[j]:
+                    self._dirty[j] = 1
+        return best_idx, best_score

@@ -32,6 +32,7 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
         columns=[
             "algorithm", "n", "m", "requests", "iterations", "sp_calls",
             "iteration_bound", "sp_call_bound", "wall_time_s",
+            "lazy_pops", "tree_reuses", "sp_calls_saved",
         ],
     )
     sizes = [(10, 30), (14, 60)] if quick else [(10, 30), (14, 60), (18, 100), (24, 160), (30, 240)]
@@ -49,6 +50,7 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
         )
         allocation = bounded_ufp(instance, epsilon)
         sp_bound = instance.num_requests * instance.num_requests
+        extra = allocation.stats.extra
         result.add_row(
             algorithm="Bounded-UFP",
             n=instance.num_vertices,
@@ -59,6 +61,9 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
             iteration_bound=instance.num_requests,
             sp_call_bound=sp_bound,
             wall_time_s=allocation.stats.wall_time_s,
+            lazy_pops=extra.get("pricing_lazy_pops", 0.0),
+            tree_reuses=extra.get("pricing_tree_reuses", 0.0),
+            sp_calls_saved=extra.get("pricing_dijkstra_calls_saved", 0.0),
         )
         result.claim(
             "Bounded-UFP iterations <= |R|",
@@ -80,6 +85,7 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
             instance.num_edges * instance.graph.max_capacity / instance.min_demand
             + instance.num_edges
         )
+        repeat_extra = repeat.stats.extra
         result.add_row(
             algorithm="Bounded-UFP-Repeat",
             n=instance.num_vertices,
@@ -90,6 +96,9 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
             iteration_bound=repeat_bound,
             sp_call_bound=float("nan"),
             wall_time_s=repeat.stats.wall_time_s,
+            lazy_pops=repeat_extra.get("pricing_lazy_pops", 0.0),
+            tree_reuses=repeat_extra.get("pricing_tree_reuses", 0.0),
+            sp_calls_saved=repeat_extra.get("pricing_dijkstra_calls_saved", 0.0),
         )
         result.claim(
             "Bounded-UFP-Repeat iterations <= m * c_max / d_min (+ slack m)",

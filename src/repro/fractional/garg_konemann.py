@@ -30,9 +30,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.pricing_engine import PathPricingEngine
 from repro.exceptions import InvalidInstanceError
 from repro.flows.instance import UFPInstance
-from repro.graphs.shortest_path import single_source_dijkstra
 from repro.types import RunStats
 
 __all__ = ["GargKonemannResult", "garg_konemann_fractional_ufp"]
@@ -137,7 +137,6 @@ def garg_konemann_fractional_ufp(
 
     dual_bound = math.inf
     iterations = 0
-    sp_calls = 0
 
     def dual_objective() -> float:
         total = float(capacities @ edge_weights)
@@ -145,35 +144,40 @@ def garg_konemann_fractional_ufp(
             total += float(request_weights.sum())
         return total
 
-    by_source: dict[int, list[int]] = {}
-    for idx, req in enumerate(instance.requests):
-        by_source.setdefault(req.source, []).append(idx)
+    def column_cost(i: int, req, distance: float) -> float:
+        # Exact reference expression, evaluated in the same order.
+        cost = req.demand * distance
+        if request_weights is not None:
+            cost += float(request_weights[i])
+        return cost / req.value
+
+    # Lazy-greedy pricing: GK weights are multiplicative (factors >= 1), so
+    # both the edge weights and the request weights are monotone
+    # non-decreasing and cached column costs are valid lower bounds.  The
+    # engine runs in external-weights mode (it reads ``edge_weights`` live;
+    # the loop below performs the updates and then invalidates the touched
+    # path).  GK selects with an exact strict ``<`` (no fuzzy tolerance),
+    # first in source/index iteration order on ties.
+    engine = PathPricingEngine(
+        graph,
+        instance.requests,
+        None,
+        weights=edge_weights,
+        tie_tolerance=0.0,
+        index_tie_break=False,
+        remove_selected=False,
+        score=column_cost,
+        share_trees=False,
+    )
 
     while dual_objective() < 1.0 and iterations < max_iterations:
-        # Price all columns: the most efficient column of request r is its
+        # Price the columns: the most efficient column of request r is its
         # shortest path under the edge weights.
-        best_cost = math.inf
-        best_request = -1
-        best_path: tuple[tuple[int, ...], tuple[int, ...]] | None = None
-        for source in sorted(by_source):
-            idxs = by_source[source]
-            targets = {instance.requests[i].target for i in idxs}
-            tree = single_source_dijkstra(graph, source, edge_weights, targets=targets)
-            sp_calls += 1
-            for i in idxs:
-                req = instance.requests[i]
-                if not tree.reachable(req.target):
-                    continue
-                cost = req.demand * tree.distance(req.target)
-                if request_weights is not None:
-                    cost += float(request_weights[i])
-                cost /= req.value
-                if cost < best_cost:
-                    best_cost = cost
-                    best_request = i
-                    best_path = tree.path_to(req.target)
-        if best_request < 0 or best_path is None:
+        selection = engine.select()
+        if selection is None:
             break
+        best_cost = selection.score
+        best_request = selection.index
 
         # A feasible dual is obtained by scaling all weights by 1/best_cost
         # (Claim 3.6 applied to the GK weights), giving a certified bound.
@@ -181,7 +185,7 @@ def garg_konemann_fractional_ufp(
             dual_bound = min(dual_bound, dual_objective() / best_cost)
 
         req = instance.requests[best_request]
-        vertices, edge_ids = best_path
+        edge_ids = selection.edge_ids
         ids = np.asarray(edge_ids, dtype=np.int64)
 
         # Bottleneck amount of the column (in units of x_s).
@@ -194,10 +198,12 @@ def garg_konemann_fractional_ufp(
         key = (best_request, tuple(int(e) for e in edge_ids))
         raw_paths[key] = raw_paths.get(key, 0.0) + sigma
 
-        # Multiplicative weight update on the touched rows.
+        # Multiplicative weight update on the touched rows, then cache
+        # invalidation for the trees using them.
         edge_weights[ids] *= 1.0 + epsilon * (sigma * req.demand) / capacities[ids]
         if request_weights is not None:
             request_weights[best_request] *= 1.0 + epsilon * sigma
+        engine.invalidate_path(selection)
         iterations += 1
 
     # Scale the accumulated flow down to feasibility.  The theoretical factor
@@ -226,13 +232,14 @@ def garg_konemann_fractional_ufp(
     )
     stats = RunStats(
         iterations=iterations,
-        shortest_path_calls=sp_calls,
+        shortest_path_calls=engine.stats.dijkstra_calls,
         wall_time_s=time.perf_counter() - start,
         extra={
             "scale": effective_scale,
             "theoretical_scale": scale,
             "delta": delta,
             "epsilon": epsilon,
+            **engine.stats.as_extra(),
         },
     )
     return GargKonemannResult(

@@ -27,6 +27,7 @@ from repro.graphs.paths import (
 from repro.graphs.shortest_path import (
     ShortestPathResult,
     single_source_dijkstra,
+    reference_dijkstra,
     shortest_path,
     bellman_ford,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "validate_path",
     "ShortestPathResult",
     "single_source_dijkstra",
+    "reference_dijkstra",
     "shortest_path",
     "bellman_ford",
     "random_digraph",

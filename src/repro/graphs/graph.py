@@ -74,6 +74,7 @@ class CapacitatedGraph:
         "_adj_heads",
         "_adj_edge_ids",
         "_edge_lookup",
+        "_substrate_cache",
     )
 
     def __init__(
@@ -146,6 +147,13 @@ class CapacitatedGraph:
                 lookup.setdefault(key, []).append(eid)
         self._edge_lookup = lookup
 
+        # Lazily-populated cache of derived, immutable artifacts (plain-list
+        # CSR for the Dijkstra hot loop, the Bellman-Ford arc list, shortest
+        # path trees under the initial dual weights 1/c).  The graph itself is
+        # immutable, so everything derived purely from its topology and
+        # capacities can be computed once and shared across algorithm runs.
+        self._substrate_cache = {}
+
     # ------------------------------------------------------------------ #
     # Basic properties
     # ------------------------------------------------------------------ #
@@ -212,6 +220,53 @@ class CapacitatedGraph:
 
     def out_degree(self, vertex: int) -> int:
         return int(self._indptr[vertex + 1] - self._indptr[vertex])
+
+    @property
+    def substrate_cache(self) -> dict:
+        """Mutable scratch dictionary for derived, immutable artifacts.
+
+        The graph never changes after construction, so any value derived
+        purely from its topology / capacities (shortest-path trees under the
+        fixed initial weights ``1/c``, scratch adjacency encodings, ...) may
+        be memoized here and shared across algorithm runs.  Callers must only
+        store values that are functions of the graph alone plus their key.
+        """
+        return self._substrate_cache
+
+    def csr_lists(self) -> tuple[list[int], list[int], list[int]]:
+        """The CSR adjacency as plain Python lists ``(indptr, heads, eids)``.
+
+        The Dijkstra hot loop indexes adjacency per arc; plain lists avoid
+        the numpy scalar boxing (`int()` / `float()` per arc) that dominates
+        the pure-numpy representation for graphs of this size.  Built once
+        and cached.
+        """
+        cached = self._substrate_cache.get("csr_lists")
+        if cached is None:
+            cached = (
+                self._indptr.tolist(),
+                self._adj_heads.tolist(),
+                self._adj_edge_ids.tolist(),
+            )
+            self._substrate_cache["csr_lists"] = cached
+        return cached
+
+    def bellman_ford_arcs(self) -> list[tuple[int, int, int]]:
+        """The arc list ``[(tail, head, edge_id), ...]`` used by Bellman-Ford.
+
+        Undirected edges contribute both orientations.  Cached on the graph so
+        repeated oracle calls (differential tests sweep many sources) do not
+        rebuild it from :meth:`edge_endpoints` every time.
+        """
+        arcs = self._substrate_cache.get("bellman_ford_arcs")
+        if arcs is None:
+            tails = self._tails.tolist()
+            heads = self._heads.tolist()
+            arcs = [(tails[e], heads[e], e) for e in range(self._m)]
+            if not self._directed:
+                arcs.extend((heads[e], tails[e], e) for e in range(self._m))
+            self._substrate_cache["bellman_ford_arcs"] = arcs
+        return arcs
 
     def edge_endpoints(self, edge_id: int) -> tuple[int, int]:
         """Return the ``(tail, head)`` pair of a logical edge as constructed."""

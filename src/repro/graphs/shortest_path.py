@@ -6,12 +6,22 @@ under the *current* dual weights ``y_e >= 0``.  Weights are always
 non-negative, so Dijkstra with a binary heap is correct; Bellman-Ford is
 provided as an independent oracle for differential testing.
 
-Two call forms are offered:
+Two Dijkstra implementations are offered with identical semantics:
 
-* :func:`single_source_dijkstra` computes the full distance / parent tree of
-  one source.  The algorithms group requests by source so that one call
-  serves every request sharing that source in an iteration.
-* :func:`shortest_path` is the convenience one-shot ``s -> t`` form.
+* :func:`single_source_dijkstra` — the production hot loop.  It runs over
+  flat Python lists (the CSR adjacency pre-extracted once per graph via
+  :meth:`~repro.graphs.graph.CapacitatedGraph.csr_lists`, the weight vector
+  converted once per call) and an array-backed binary heap of ``(dist,
+  vertex)`` pairs, so the inner relaxation performs no per-edge numpy scalar
+  boxing.  Its output — distances, parents and therefore extracted paths —
+  is bit-for-bit identical to :func:`reference_dijkstra`.
+* :func:`reference_dijkstra` — the original straightforward numpy-indexing
+  implementation, kept as the differential-testing oracle for the fast one.
+
+Both tie-break identically: heap entries are ``(dist, vertex)`` tuples (so
+equal distances settle in vertex order), and a relaxation only overwrites a
+parent on a strict improvement (so the first arc, in CSR order from the
+earliest-settled tail, that attains the final distance is the parent).
 """
 
 from __future__ import annotations
@@ -26,7 +36,9 @@ from repro.graphs.graph import CapacitatedGraph
 
 __all__ = [
     "ShortestPathResult",
+    "dijkstra_lists",
     "single_source_dijkstra",
+    "reference_dijkstra",
     "shortest_path",
     "bellman_ford",
 ]
@@ -84,6 +96,84 @@ class ShortestPathResult:
         edges.reverse()
         return tuple(vertices), tuple(edges)
 
+    def used_edge_ids(self) -> set[int]:
+        """The set of edge ids appearing as parent edges anywhere in the tree.
+
+        This is the invalidation footprint used by the tree caches: as long
+        as no weight of an edge in this set changes (and no weight decreases
+        at all), a rerun of Dijkstra would reproduce this exact tree.
+        """
+        used = set(self.parent_edge.tolist())
+        used.discard(-1)
+        return used
+
+
+def _validate_weights(graph: CapacitatedGraph, weights: np.ndarray) -> np.ndarray:
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (graph.num_edges,):
+        raise ValueError(
+            f"weights must have shape ({graph.num_edges},), got {weights.shape}"
+        )
+    if graph.num_edges and float(weights.min()) < 0.0:
+        raise ValueError("Dijkstra requires non-negative weights")
+    return weights
+
+
+def dijkstra_lists(
+    n: int,
+    indptr: list[int],
+    adj_heads: list[int],
+    adj_edge_ids: list[int],
+    w: list[float],
+    source: int,
+    targets: set[int] | None = None,
+) -> tuple[list[float], list[int], list[int]]:
+    """The Dijkstra hot loop over flat Python lists.
+
+    Returns ``(dist, parent_vertex, parent_edge)`` as plain lists
+    (unreachable vertices carry ``inf`` / ``-1``).  This is the shared core
+    of :func:`single_source_dijkstra` (which wraps it in numpy arrays and
+    input validation) and of the pricing engine's tree cache (which keeps
+    the raw lists to avoid per-call array construction on small graphs).
+    Arithmetic and tie-breaking are bit-identical to
+    :func:`reference_dijkstra`.
+    """
+    inf = float("inf")
+    dist = [inf] * n
+    parent_vertex = [-1] * n
+    parent_edge = [-1] * n
+    settled = bytearray(n)
+
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    # Copy: the early-exit set is drained as targets settle, and callers may
+    # reuse theirs across several sources.
+    remaining = set(targets) if targets is not None else None
+
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    while heap:
+        d, u = heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = 1
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for k in range(indptr[u], indptr[u + 1]):
+            v = adj_heads[k]
+            if settled[v]:
+                continue
+            nd = d + w[adj_edge_ids[k]]
+            if nd < dist[v]:
+                dist[v] = nd
+                parent_vertex[v] = u
+                parent_edge[v] = adj_edge_ids[k]
+                heappush(heap, (nd, v))
+
+    return dist, parent_vertex, parent_edge
+
 
 def single_source_dijkstra(
     graph: CapacitatedGraph,
@@ -108,18 +198,51 @@ def single_source_dijkstra(
         settled the search stops.  Distances of unsettled vertices are left
         as ``inf`` even if they are reachable, so only use the result for the
         requested targets in that case.
+
+    Notes
+    -----
+    The output is bit-for-bit identical to :func:`reference_dijkstra` —
+    same distances, same parents, same extracted paths — the implementations
+    differ only in the data layout of the hot loop.
     """
     n = graph.num_vertices
     source = int(source)
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range")
-    weights = np.asarray(weights, dtype=np.float64)
-    if weights.shape != (graph.num_edges,):
-        raise ValueError(
-            f"weights must have shape ({graph.num_edges},), got {weights.shape}"
-        )
-    if graph.num_edges and float(weights.min()) < 0.0:
-        raise ValueError("Dijkstra requires non-negative weights")
+    weights = _validate_weights(graph, weights)
+
+    indptr, adj_heads, adj_edge_ids = graph.csr_lists()
+    remaining = set(int(t) for t in targets) if targets is not None else None
+    dist, parent_vertex, parent_edge = dijkstra_lists(
+        n, indptr, adj_heads, adj_edge_ids, weights.tolist(), source, remaining
+    )
+
+    return ShortestPathResult(
+        source=source,
+        distances=np.asarray(dist, dtype=np.float64),
+        parent_vertex=np.asarray(parent_vertex, dtype=np.int64),
+        parent_edge=np.asarray(parent_edge, dtype=np.int64),
+    )
+
+
+def reference_dijkstra(
+    graph: CapacitatedGraph,
+    source: int,
+    weights: np.ndarray,
+    *,
+    targets: set[int] | frozenset[int] | None = None,
+) -> ShortestPathResult:
+    """The original numpy-indexing Dijkstra, kept as a differential oracle.
+
+    Semantically (and bit-for-bit) equivalent to
+    :func:`single_source_dijkstra`; slower because the relaxation loop boxes
+    a numpy scalar per arc.
+    """
+    n = graph.num_vertices
+    source = int(source)
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range")
+    weights = _validate_weights(graph, weights)
 
     dist = np.full(n, np.inf, dtype=np.float64)
     parent_vertex = np.full(n, -1, dtype=np.int64)
@@ -208,14 +331,9 @@ def bellman_ford(
     parent_edge = np.full(n, -1, dtype=np.int64)
     dist[source] = 0.0
 
-    # Build the arc list once: (tail, head, edge_id) including both
-    # orientations for undirected graphs.
-    arcs: list[tuple[int, int, int]] = []
-    for eid in range(m):
-        u, v = graph.edge_endpoints(eid)
-        arcs.append((u, v, eid))
-        if not graph.directed:
-            arcs.append((v, u, eid))
+    # The arc list — (tail, head, edge_id), both orientations for undirected
+    # graphs — is cached on the graph.
+    arcs = graph.bellman_ford_arcs()
 
     for _ in range(n - 1):
         changed = False

@@ -10,6 +10,16 @@ The critical value is found by bisection over the declared value, re-running
 the allocation algorithm with the single declaration changed.  The number of
 algorithm runs per winner is ``O(log((v_hi - v_lo) / tol))``; experiments
 that only need allocations (not payments) should not compute payments.
+
+Every probe instance produced by :meth:`UFPInstance.replace_request` shares
+the original (immutable) graph object, so the probe runs all share one
+pricing-engine substrate: the shortest-path trees under the initial dual
+weights ``y = 1/c`` — the most expensive pricing sweep of each run — are
+memoized on :attr:`CapacitatedGraph.substrate_cache
+<repro.graphs.graph.CapacitatedGraph.substrate_cache>` by the
+:mod:`~repro.core.pricing_engine` and computed exactly once across the whole
+bisection, not once per probe.  (They depend only on the graph, never on the
+declarations being probed, so reuse is sound and bit-exact.)
 """
 
 from __future__ import annotations
@@ -42,6 +52,7 @@ def _bisect_critical_value(
     relative_tolerance: float,
     absolute_tolerance: float,
     max_iterations: int,
+    known_selected: bool = False,
 ) -> float:
     """Find the selection threshold of a monotone-in-value selection predicate.
 
@@ -49,8 +60,13 @@ def _bisect_critical_value(
     ``declared_value``.  The returned value ``c`` satisfies: the agent is
     selected at ``c + tol`` and (unless ``c`` is effectively zero) not
     selected at ``c - tol``.
+
+    ``known_selected=True`` asserts the caller has already observed the agent
+    selected at its declaration (e.g. it is iterating the winners of the
+    allocation the same deterministic algorithm produced), so the redundant
+    confirming run is skipped — one full mechanism re-run saved per winner.
     """
-    if not is_selected_at(declared_value):
+    if not known_selected and not is_selected_at(declared_value):
         raise MechanismError(
             "critical value requested for a declaration that is not selected"
         )
@@ -79,12 +95,18 @@ def critical_value_ufp(
     relative_tolerance: float = 1e-6,
     absolute_tolerance: float = 1e-9,
     max_iterations: int = 60,
+    assume_selected: bool = False,
 ) -> float:
     """Critical value of one *winning* request under ``algorithm``.
 
     The declared demand is held fixed; only the declared value is varied.
     Raises :class:`~repro.exceptions.MechanismError` when the request is not
     selected under its declaration (losers pay nothing — do not call this).
+
+    All probe instances share ``instance.graph``, so when ``algorithm`` is an
+    engine-backed solver (:func:`repro.core.bounded_ufp`, ...) the bisection
+    re-runs reuse the warm per-graph initial-weight tree cache — see the
+    module docstring.
     """
     request_index = int(request_index)
     declared = instance.requests[request_index]
@@ -101,6 +123,7 @@ def critical_value_ufp(
         relative_tolerance=relative_tolerance,
         absolute_tolerance=absolute_tolerance,
         max_iterations=max_iterations,
+        known_selected=assume_selected,
     )
 
 
@@ -112,6 +135,7 @@ def critical_value_muca(
     relative_tolerance: float = 1e-6,
     absolute_tolerance: float = 1e-9,
     max_iterations: int = 60,
+    assume_selected: bool = False,
 ) -> float:
     """Critical value of one *winning* bid under ``algorithm``."""
     bid_index = int(bid_index)
@@ -129,6 +153,7 @@ def critical_value_muca(
         relative_tolerance=relative_tolerance,
         absolute_tolerance=absolute_tolerance,
         max_iterations=max_iterations,
+        known_selected=assume_selected,
     )
 
 
@@ -140,30 +165,47 @@ def compute_ufp_payments(
     winners: Iterable[int] | None = None,
     relative_tolerance: float = 1e-6,
     absolute_tolerance: float = 1e-9,
+    verify_winners: bool = False,
 ) -> np.ndarray:
     """Critical-value payments for every request (losers pay zero).
 
     Parameters
     ----------
     algorithm:
-        The (monotone, exact) allocation rule; must be the same callable that
-        produced ``allocation``.
+        The (monotone, exact) allocation rule; **must** be the same
+        deterministic callable that produced ``allocation``.  This
+        precondition is relied on, not just documented: each winner is known
+        to be selected at its declaration, so the confirming mechanism
+        re-run is skipped (``assume_selected=True``).  Passing a mismatched
+        algorithm/allocation pair yields meaningless payments rather than
+        the :class:`~repro.exceptions.MechanismError` that
+        :func:`critical_value_ufp` raises for non-winners.
     allocation:
         The allocation under the declared types.
     winners:
         Restrict payment computation to these winning request indices
         (default: all winners).
+    verify_winners:
+        Re-enable the confirming mechanism run per winner (one extra
+        ``algorithm`` call each), restoring the loud
+        :class:`~repro.exceptions.MechanismError` on an algorithm/allocation
+        mismatch at the cost of the saved run.
     """
     payments = np.zeros(instance.num_requests, dtype=np.float64)
     winner_set = allocation.selected_indices()
     targets = winner_set if winners is None else (set(int(w) for w in winners) & winner_set)
     for idx in sorted(targets):
+        # ``idx`` is a winner of the allocation this same (deterministic)
+        # algorithm produced, so it is selected at its declared value by
+        # construction — skip the confirming re-run unless the caller asked
+        # for the guard back.
         payments[idx] = critical_value_ufp(
             algorithm,
             instance,
             idx,
             relative_tolerance=relative_tolerance,
             absolute_tolerance=absolute_tolerance,
+            assume_selected=not verify_winners,
         )
     return payments
 
@@ -176,8 +218,14 @@ def compute_muca_payments(
     winners: Iterable[int] | None = None,
     relative_tolerance: float = 1e-6,
     absolute_tolerance: float = 1e-9,
+    verify_winners: bool = False,
 ) -> np.ndarray:
-    """Critical-value payments for every bid (losers pay zero)."""
+    """Critical-value payments for every bid (losers pay zero).
+
+    ``algorithm`` must be the deterministic callable that produced
+    ``allocation``; see :func:`compute_ufp_payments` for the
+    ``verify_winners`` escape hatch.
+    """
     payments = np.zeros(instance.num_bids, dtype=np.float64)
     winner_set = set(allocation.winners)
     targets = winner_set if winners is None else (set(int(w) for w in winners) & winner_set)
@@ -188,5 +236,6 @@ def compute_muca_payments(
             idx,
             relative_tolerance=relative_tolerance,
             absolute_tolerance=absolute_tolerance,
+            assume_selected=not verify_winners,
         )
     return payments

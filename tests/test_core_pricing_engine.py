@@ -1,0 +1,322 @@
+"""Differential and property tests for the lazy-greedy pricing engine.
+
+The engine-backed production solvers must produce allocations *identical* to
+the eager :mod:`repro.core.reference` loops (which in turn drive
+:func:`~repro.graphs.shortest_path.reference_dijkstra`): same selected
+requests, same selection order, same paths, same payments.  On top of the
+exact-match contract, property tests check the lazy-greedy invariant itself —
+a selection is never beaten by the fresh score of any pool request — and the
+bit-identity of the rewritten Dijkstra hot loop against the reference one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auctions import random_auction
+from repro.core import (
+    DualWeights,
+    PathPricingEngine,
+    bounded_muca,
+    bounded_ufp,
+    bounded_ufp_repeat,
+    reference_bounded_muca,
+    reference_bounded_ufp,
+    reference_bounded_ufp_repeat,
+)
+from repro.flows import random_instance
+from repro.graphs import random_digraph, reference_dijkstra, single_source_dijkstra
+from repro.mechanism import compute_ufp_payments
+
+
+def _routed_signature(allocation):
+    return [(r.request_index, r.vertices, r.edge_ids) for r in allocation.routed]
+
+
+# --------------------------------------------------------------------- #
+# Differential: engine solvers vs reference solvers
+# --------------------------------------------------------------------- #
+class TestAllocationsMatchReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 13])
+    @pytest.mark.parametrize("directed", [True, False])
+    @pytest.mark.parametrize("epsilon", [0.3, 0.7])
+    def test_bounded_ufp(self, seed, directed, epsilon):
+        instance = random_instance(
+            num_vertices=11, edge_probability=0.25, capacity=15.0,
+            num_requests=30, demand_range=(0.3, 1.0), seed=seed,
+            directed=directed,
+        )
+        fast = bounded_ufp(instance, epsilon)
+        slow = reference_bounded_ufp(instance, epsilon)
+        assert _routed_signature(fast) == _routed_signature(slow)
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    @pytest.mark.parametrize("directed", [True, False])
+    def test_bounded_ufp_repeat(self, seed, directed):
+        instance = random_instance(
+            num_vertices=9, edge_probability=0.3, capacity=10.0,
+            num_requests=12, demand_range=(0.4, 1.0), seed=seed,
+            directed=directed,
+        )
+        fast = bounded_ufp_repeat(instance, 0.5, max_iterations=150)
+        slow = reference_bounded_ufp_repeat(instance, 0.5, max_iterations=150)
+        assert _routed_signature(fast) == _routed_signature(slow)
+
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_bounded_muca(self, seed):
+        auction = random_auction(
+            num_items=20, num_bids=120, multiplicity=25.0,
+            bundle_size_range=(1, 5), seed=seed,
+        )
+        fast = bounded_muca(auction, 0.35)
+        slow = reference_bounded_muca(auction, 0.35)
+        assert fast.winners == slow.winners
+
+    def test_unroutable_requests(self):
+        # Disconnected terminals must be skipped identically.
+        from repro.flows import Request, UFPInstance
+        from repro.graphs import CapacitatedGraph
+
+        graph = CapacitatedGraph(4, [(0, 1, 20.0), (2, 3, 20.0)], directed=True)
+        instance = UFPInstance(
+            graph,
+            [Request(0, 3, 1.0, 9.0), Request(0, 1, 1.0, 1.0), Request(2, 3, 1.0, 2.0)],
+        )
+        fast = bounded_ufp(instance, 1.0)
+        slow = reference_bounded_ufp(instance, 1.0)
+        assert _routed_signature(fast) == _routed_signature(slow)
+
+    def test_exact_ties_break_identically(self):
+        # Four identical requests: scores tie exactly, index order decides.
+        from repro.flows import Request, UFPInstance
+        from repro.graphs import CapacitatedGraph
+
+        graph = CapacitatedGraph(2, [(0, 1, 10.0)], directed=True)
+        requests = [Request(0, 1, 1.0, 2.0) for _ in range(4)]
+        instance = UFPInstance(graph, requests)
+        fast = bounded_ufp(instance, 1.0)
+        slow = reference_bounded_ufp(instance, 1.0)
+        assert _routed_signature(fast) == _routed_signature(slow)
+
+    def test_payments_match_reference_driven_bisection(self):
+        instance = random_instance(
+            num_vertices=8, edge_probability=0.4, capacity=10.0,
+            num_requests=12, demand_range=(0.4, 1.0), seed=3,
+        )
+        fast_alloc = bounded_ufp(instance, 0.4)
+        slow_alloc = reference_bounded_ufp(instance, 0.4)
+        fast_payments = compute_ufp_payments(
+            lambda trial: bounded_ufp(trial, 0.4), instance, fast_alloc
+        )
+        slow_payments = compute_ufp_payments(
+            lambda trial: reference_bounded_ufp(trial, 0.4), instance, slow_alloc
+        )
+        assert np.array_equal(fast_payments, slow_payments)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2000),
+    epsilon=st.floats(min_value=0.2, max_value=1.0),
+    directed=st.booleans(),
+)
+def test_property_engine_matches_reference(seed, epsilon, directed):
+    """Engine allocations equal reference allocations on arbitrary random
+    instances, directed and undirected."""
+    instance = random_instance(
+        num_vertices=8, edge_probability=0.35, capacity=8.0,
+        num_requests=16, demand_range=(0.3, 1.0), seed=seed, directed=directed,
+    )
+    fast = bounded_ufp(instance, epsilon)
+    slow = reference_bounded_ufp(instance, epsilon)
+    assert _routed_signature(fast) == _routed_signature(slow)
+
+
+# --------------------------------------------------------------------- #
+# Property: the lazy-greedy invariant
+# --------------------------------------------------------------------- #
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_lazy_selection_is_never_beaten(seed):
+    """No pool request's *fresh* score (recomputed eagerly from scratch under
+    the current duals) ever beats the lazy-greedy selection."""
+    instance = random_instance(
+        num_vertices=9, edge_probability=0.3, capacity=12.0,
+        num_requests=14, demand_range=(0.3, 1.0), seed=seed,
+    )
+    graph = instance.graph
+    duals = DualWeights(graph.capacities, 0.5)
+    engine = PathPricingEngine(graph, instance.requests, duals)
+    pool = set(range(instance.num_requests))
+
+    while engine.num_pending and duals.within_budget:
+        selection = engine.select()
+        if selection is None:
+            break
+        # Eager oracle: fresh score of every pool request under current duals.
+        weights = duals.weights
+        best = None
+        for i in sorted(pool):
+            req = instance.requests[i]
+            tree = reference_dijkstra(graph, req.source, weights, targets={req.target})
+            if not tree.reachable(req.target):
+                continue
+            score = req.demand / req.value * tree.distance(req.target)
+            if best is None or score < best:
+                best = score
+        assert best is not None
+        assert selection.score <= best + 1e-15
+        engine.commit(selection)
+        pool.discard(selection.index)
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity of the rewritten Dijkstra
+# --------------------------------------------------------------------- #
+class TestFastDijkstraBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_full_tree(self, seed):
+        graph = random_digraph(40, 0.12, 5.0, seed=seed)
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.01, 1.0, size=graph.num_edges)
+        for source in (0, 7, 19):
+            fast = single_source_dijkstra(graph, source, weights)
+            slow = reference_dijkstra(graph, source, weights)
+            assert np.array_equal(fast.distances, slow.distances)
+            assert np.array_equal(fast.parent_vertex, slow.parent_vertex)
+            assert np.array_equal(fast.parent_edge, slow.parent_edge)
+            # The invalidation footprint (parent-edge set) matches too.
+            assert fast.used_edge_ids() == slow.used_edge_ids()
+
+    def test_targets_set_not_consumed(self):
+        graph = random_digraph(20, 0.2, 5.0, seed=8)
+        rng = np.random.default_rng(8)
+        weights = rng.uniform(0.01, 1.0, size=graph.num_edges)
+        targets = {3, 9}
+        single_source_dijkstra(graph, 0, weights, targets=targets)
+        assert targets == {3, 9}  # caller's set must survive the early exit
+
+    def test_early_exit_targets(self):
+        graph = random_digraph(30, 0.15, 5.0, seed=5)
+        rng = np.random.default_rng(5)
+        weights = rng.uniform(0.01, 1.0, size=graph.num_edges)
+        fast = single_source_dijkstra(graph, 0, weights, targets={11, 23})
+        slow = reference_dijkstra(graph, 0, weights, targets={11, 23})
+        assert np.array_equal(fast.distances, slow.distances)
+        assert np.array_equal(fast.parent_edge, slow.parent_edge)
+
+
+# --------------------------------------------------------------------- #
+# Substrate caches and DualWeights fast paths
+# --------------------------------------------------------------------- #
+class TestSubstrateCaches:
+    def test_bellman_ford_arc_list_is_cached(self):
+        graph = random_digraph(12, 0.3, 4.0, seed=1)
+        arcs1 = graph.bellman_ford_arcs()
+        arcs2 = graph.bellman_ford_arcs()
+        assert arcs1 is arcs2  # built once
+        assert len(arcs1) == graph.num_edges  # directed: one arc per edge
+
+    def test_csr_lists_are_cached_and_consistent(self):
+        graph = random_digraph(12, 0.3, 4.0, seed=2)
+        indptr, heads, eids = graph.csr_lists()
+        assert graph.csr_lists() is graph.csr_lists()
+        assert indptr == graph.indptr.tolist()
+        assert heads == graph.adjacency_heads.tolist()
+        assert eids == graph.adjacency_edge_ids.tolist()
+
+    def test_warm_tree_cache_reused_across_runs(self):
+        instance = random_instance(
+            num_vertices=10, edge_probability=0.3, capacity=20.0,
+            num_requests=20, demand_range=(0.3, 1.0), seed=4,
+        )
+        first = bounded_ufp(instance, 0.4)
+        second = bounded_ufp(instance, 0.4)
+        assert _routed_signature(first) == _routed_signature(second)
+        # The second run prices its initial sweep from the per-graph memo.
+        assert second.stats.extra["pricing_warm_start_hits"] > 0
+        assert (
+            second.stats.extra["pricing_dijkstra_calls"]
+            < first.stats.extra["pricing_dijkstra_calls"]
+            + first.stats.extra["pricing_warm_start_hits"]
+        )
+
+    def test_cache_statistics_recorded_in_run_stats(self):
+        instance = random_instance(
+            num_vertices=10, edge_probability=0.3, capacity=20.0,
+            num_requests=20, demand_range=(0.3, 1.0), seed=6,
+        )
+        stats = bounded_ufp(instance, 0.4).stats
+        for key in (
+            "pricing_dijkstra_calls",
+            "pricing_tree_reuses",
+            "pricing_warm_start_hits",
+            "pricing_lazy_pops",
+            "pricing_repricings",
+            "pricing_trees_invalidated",
+            "pricing_dijkstra_calls_saved",
+        ):
+            assert key in stats.extra
+        # Laziness must actually kick in: the eager strategy would have run
+        # far more trees than the engine did.
+        assert stats.extra["pricing_dijkstra_calls_saved"] > 0
+
+    def test_dual_weights_assume_unique_matches_dedup_path(self):
+        caps = np.array([2.0, 3.0, 5.0, 7.0])
+        a = DualWeights(caps, 0.5)
+        b = DualWeights(caps, 0.5)
+        ids = np.array([1, 3], dtype=np.int64)  # sorted, distinct
+        a.apply_selection(ids, 0.7, assume_unique=True)
+        b.apply_selection([3, 1], 0.7)  # np.unique path
+        assert np.array_equal(a.weights, b.weights)
+        assert a.budget == b.budget
+
+    def test_verify_winners_restores_mismatch_guard(self):
+        from repro.exceptions import MechanismError
+
+        instance = random_instance(
+            num_vertices=7, edge_probability=0.4, capacity=4.0,
+            num_requests=10, demand_range=(0.5, 1.0), seed=11,
+        )
+        allocation = bounded_ufp(instance, 0.3)
+        assert allocation.num_selected < instance.num_requests  # contended
+        # A mismatched algorithm (different epsilon -> different winners)
+        # must trip the guard when verification is requested.
+        mismatched = lambda trial: bounded_ufp(trial, 1.0)  # noqa: E731
+        if any(
+            not mismatched(instance).is_selected(i)
+            for i in allocation.selected_indices()
+        ):
+            with pytest.raises(MechanismError):
+                compute_ufp_payments(
+                    mismatched, instance, allocation, verify_winners=True
+                )
+
+    def test_initial_trees_survive_memo_eviction(self):
+        from repro.core.pricing_engine import (
+            _INITIAL_TREE_MEMO_KEY,
+            _TREE_MEMO_KEY,
+        )
+
+        instance = random_instance(
+            num_vertices=10, edge_probability=0.3, capacity=20.0,
+            num_requests=20, demand_range=(0.3, 1.0), seed=5,
+        )
+        bounded_ufp(instance, 0.4)
+        cache = instance.graph.substrate_cache
+        initial = cache[_INITIAL_TREE_MEMO_KEY]
+        assert initial  # initial sweep memoized outside the evictable memo
+        cache[_TREE_MEMO_KEY].clear()  # simulate a cap-triggered eviction
+        again = bounded_ufp(instance, 0.4)
+        # The initial sweep still warm-starts after the eviction.
+        assert again.stats.extra["pricing_warm_start_hits"] >= len(initial)
+
+    def test_dual_weights_path_length_ndarray_fast_path(self):
+        caps = np.array([2.0, 3.0, 5.0])
+        duals = DualWeights(caps, 0.5)
+        ids = np.array([0, 2], dtype=np.int64)
+        assert duals.path_length(ids) == duals.path_length([0, 2])
+        assert duals.path_length(np.array([], dtype=np.int64)) == 0.0
