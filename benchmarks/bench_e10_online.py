@@ -1,0 +1,15 @@
+"""E10 — online streaming admission vs offline Bounded-UFP."""
+
+from conftest import run_and_report
+
+
+def test_e10_online_competitive(benchmark):
+    result = run_and_report(benchmark, "E10")
+    greedy_rows = [row for row in result.rows if row["policy"] == "greedy"]
+    assert greedy_rows, "E10 must measure at least one greedy streaming cell"
+    for row in greedy_rows:
+        # The competitive ratio is reported per arrival process and must be a
+        # meaningful number: positive, and (admission being irrevocable under
+        # the same budget rule) not wildly above the offline optimum.
+        assert 0.0 < row["value_ratio"] <= 1.5
+        assert row["admitted"] <= row["requests"]

@@ -1,0 +1,104 @@
+"""Online bandwidth auction: streaming admission on an ISP backbone.
+
+The offline examples clear one sealed-bid auction over all customer
+requests at once.  Real bandwidth demand arrives over time, so here the
+same ISP topology serves a *stream*: requests arrive under a Poisson law,
+the online auction admits irrevocably with exponential dual prices, and
+each admitted customer is charged its batch critical value the moment it
+is admitted — no waiting for the day's traffic to settle.
+
+The example contrasts three arrival patterns over the same workload
+(Poisson, synchronized bursts, and an adversarial cheapest-first ordering)
+against the offline ``Bounded-UFP`` optimum-in-hindsight, and prints the
+pricing-engine counters showing that per-arrival admission reuses cached
+shortest-path trees instead of re-running Dijkstra per request.
+
+Run with::
+
+    python examples/online_bandwidth_stream.py
+"""
+
+from __future__ import annotations
+
+from repro import bounded_ufp, flows
+from repro.online import (
+    OnlineAuction,
+    adversarial_arrivals,
+    bursty_arrivals,
+    poisson_arrivals,
+)
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    epsilon = 0.5
+    instance = flows.isp_instance(
+        num_core=4,
+        leaves_per_core=3,
+        core_capacity=16.0,
+        access_capacity=8.0,
+        num_requests=120,
+        seed=2026,
+        name="isp-stream",
+    )
+    print(f"topology: {instance.graph!r}")
+    print(f"{instance.num_requests} customer requests, B = {instance.capacity_bound():.1f}")
+
+    offline = bounded_ufp(instance, epsilon)
+    print(f"\noffline Bounded-UFP (hindsight): value {offline.value:.2f}, "
+          f"{len(offline.routed)} admitted")
+
+    streams = {
+        "poisson": poisson_arrivals(
+            instance.requests, rate=2.0, batch_window=1.0, seed=1
+        ),
+        "bursty": bursty_arrivals(
+            instance.requests, burst_size=10, shuffle=True, seed=1
+        ),
+        "adversarial": adversarial_arrivals(
+            instance.requests, order="density_ascending"
+        ),
+    }
+
+    table = Table(
+        columns=["arrival", "batches", "admitted", "value", "ratio",
+                 "revenue", "dijkstra", "tree_reuses"],
+        title="online streaming admission (threshold policy, payments on)",
+    )
+    for name, stream in streams.items():
+        auction = OnlineAuction(
+            instance.graph,
+            epsilon,
+            admission="threshold",
+            score_threshold=1.0,
+            compute_payments=True,
+            name=f"{instance.name}-{name}",
+        )
+        result = auction.run(stream)
+        result.validate()
+        extra = result.stats.extra
+        table.add_row(
+            {
+                "arrival": name,
+                "batches": result.num_batches,
+                "admitted": f"{result.num_selected}/{instance.num_requests}",
+                "value": f"{result.value:.2f}",
+                "ratio": f"{result.value / offline.value:.3f}",
+                "revenue": f"{result.revenue:.2f}",
+                "dijkstra": int(extra["pricing_dijkstra_calls"]),
+                "tree_reuses": int(extra["pricing_tree_reuses"]),
+            }
+        )
+    print()
+    print(table.render())
+    print(
+        "\nThe adversarial (cheapest-density-first) order shows why online "
+        "admission is strictly harder: early low-value commitments consume "
+        "capacity the later, better requests then cannot get.  The tree_reuses "
+        "column counts arrivals priced from a cached shortest-path tree — "
+        "sources untouched by admitted paths are never re-priced."
+    )
+
+
+if __name__ == "__main__":
+    main()

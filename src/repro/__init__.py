@@ -26,7 +26,7 @@ True
 True
 """
 
-from repro import auctions, baselines, core, flows, fractional, graphs, lp, mechanism
+from repro import auctions, baselines, core, flows, fractional, graphs, lp, mechanism, online
 from repro.auctions import Bid, MUCAAllocation, MUCAInstance
 from repro.core import bounded_muca, bounded_ufp, bounded_ufp_repeat
 from repro.exceptions import ReproError
@@ -50,6 +50,7 @@ __all__ = [
     "mechanism",
     "baselines",
     "fractional",
+    "online",
     # Most-used types and entry points
     "CapacitatedGraph",
     "Request",

@@ -1,4 +1,10 @@
-"""Random auction workload generators."""
+"""Random auction workload generators.
+
+Both generators follow the library-wide determinism contract (see
+:mod:`repro.graphs.generators`): ``seed`` is an ``int``, a shared
+:class:`numpy.random.Generator`, or ``None`` for the fixed default, and
+identical seeds reproduce identical auctions bit for bit.
+"""
 
 from __future__ import annotations
 

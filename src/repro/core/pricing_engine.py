@@ -278,7 +278,9 @@ class PathPricingEngine:
         if duals is None and weights is None:
             raise ValueError("either duals or a live weights array is required")
         self._graph = graph
-        self._requests = tuple(requests)
+        # A list, not a tuple: streaming callers append via add_requests and
+        # tuple re-concatenation would make per-arrival admission O(n).
+        self._requests = list(requests)
         self._duals = duals
         self._weights = duals.weights if duals is not None else weights
         self._n = graph.num_vertices
@@ -336,8 +338,27 @@ class PathPricingEngine:
         return self._pending
 
     @property
+    def num_requests(self) -> int:
+        """Total requests ever admitted into the pool (live or not)."""
+        return len(self._requests)
+
+    @property
     def duals(self) -> DualWeights | None:
         return self._duals
+
+    def is_live(self, index: int) -> bool:
+        """Whether the request at ``index`` is still selectable: neither
+        selected (when selections remove) nor proven unroutable."""
+        return not (self._selected[index] or self._dropped[index])
+
+    def request_at(self, index: int):
+        """The request at engine-global ``index`` (arrival order).
+
+        The engine owns the pool: streaming drivers resolve
+        :class:`Selection` indices and rebuild instances through this
+        accessor instead of keeping a parallel copy of the request list.
+        """
+        return self._requests[index]
 
     # ------------------------------------------------------------------ #
     # Tree cache
@@ -446,6 +467,45 @@ class PathPricingEngine:
             self._source_live[source] = live
         else:
             del self._source_live[source]
+
+    def add_requests(self, requests: Sequence) -> list[int]:
+        """Admit newly-arrived requests into the live pool (streaming mode).
+
+        Each new request is priced under the *current* dual weights and
+        pushed into the lazy heap with a fresh (exact) score.  Pricing goes
+        through the tree cache: a source whose cached shortest-path tree is
+        untouched since its last computation (no selected path intersected
+        its parent-edge set) is **not** re-priced — the cached tree is still
+        exact, so the new request costs two list indexings, not a Dijkstra
+        run.  Unroutable requests are dropped immediately, exactly as in
+        :meth:`_prime`.
+
+        Returns the engine-global indices assigned to ``requests`` (in
+        order); indices of earlier requests never change.
+        """
+        new = list(requests)
+        start = len(self._requests)
+        self._requests.extend(new)
+        self._selected.extend(bytes(len(new)))
+        self._dropped.extend(bytes(len(new)))
+        indices: list[int] = []
+        heap = self._heap
+        for offset, req in enumerate(new):
+            idx = start + offset
+            indices.append(idx)
+            self._pending += 1
+            source = req.source
+            self._source_live[source] = self._source_live.get(source, 0) + 1
+            tree = self._get_tree(source)
+            d = tree.dist[req.target]
+            if d == _INF:
+                self._drop(idx)
+                continue
+            heapq.heappush(
+                heap,
+                (self._score(idx, req, d), idx, self._source_epoch.get(source, 0)),
+            )
+        return indices
 
     # ------------------------------------------------------------------ #
     # Lazy-greedy selection
@@ -565,6 +625,21 @@ class PathPricingEngine:
         self._duals.apply_selection(ids, req.demand, assume_unique=True)
         self.invalidate_path(selection)
 
+    def requeue(self, selection: Selection) -> None:
+        """Return an *uncommitted* selection to the pool.
+
+        For callers that inspect the argmin before deciding whether to take
+        it (e.g. the online auction's threshold admission).  Only valid when
+        no weight update happened since :meth:`select` returned it: the
+        selection's exact score and its source's current epoch are then
+        still valid heap entries.
+        """
+        source = self._requests[selection.index].source
+        heapq.heappush(
+            self._heap,
+            (selection.score, selection.index, self._source_epoch.get(source, 0)),
+        )
+
     def invalidate_path(self, selection: Selection) -> None:
         """Evict every cached tree using an edge of the selected path and
         return (or retire) the winner.  In external-weights mode call this
@@ -584,6 +659,16 @@ class PathPricingEngine:
             heapq.heappush(self._heap, (selection.score, idx, -1))
 
 
+class _EmptyBidPool:
+    """The zero-bid stand-in :meth:`BundlePricingEngine.streaming` builds
+    from (the constructor only reads ``.bids``)."""
+
+    bids: tuple = ()
+
+
+_EMPTY_BID_POOL = _EmptyBidPool()
+
+
 class BundlePricingEngine:
     """The ``Bounded-MUCA`` counterpart: items instead of edges, bundle price
     sums instead of shortest paths.
@@ -599,6 +684,8 @@ class BundlePricingEngine:
     """
 
     def __init__(self, instance, duals: DualWeights) -> None:
+        """``instance`` is a MUCA instance exposing ``.bids``; streaming
+        drivers that have no instance yet use :meth:`streaming` instead."""
         self._duals = duals
         bids = instance.bids
         n = len(bids)
@@ -641,6 +728,36 @@ class BundlePricingEngine:
     @property
     def num_pending(self) -> int:
         return self._pending
+
+    @classmethod
+    def streaming(cls, duals: DualWeights) -> "BundlePricingEngine":
+        """An engine with an empty bid pool, for streaming drivers that
+        feed every arrival through :meth:`add_bids`."""
+        return cls(_EMPTY_BID_POOL, duals)
+
+    def add_bids(self, bids: Sequence) -> list[int]:
+        """Admit newly-arrived bids into the live pool (streaming mode).
+
+        Each new bid is priced exactly under the *current* item weights
+        (one cheap bundle sum — no other bid is touched, and bids that do
+        not share an item with a past winner stay clean) and pushed into
+        the lazy heap.  Returns the engine-global indices assigned, in
+        order; earlier indices never change.
+        """
+        indices: list[int] = []
+        for bid in bids:
+            idx = len(self._bundles)
+            bundle = np.asarray(bid.bundle, dtype=np.int64)
+            self._bundles.append(bundle)
+            self._values.append(bid.value)
+            self._selected.append(0)
+            self._dirty.append(0)
+            self._pending += 1
+            for u in bundle.tolist():
+                self._item_to_bids.setdefault(u, []).append(idx)
+            heapq.heappush(self._heap, (self._price(idx), idx))
+            indices.append(idx)
+        return indices
 
     def _price(self, idx: int) -> float:
         # Reference expression: path_length(bundle) / value, with the bundle

@@ -2,8 +2,10 @@
 
 The paper is a theory paper, so its "tables and figures" are theorems, LP
 formulations and worked adversarial instances.  Each becomes an experiment
-(E1–E9, see DESIGN.md section 3) that measures the corresponding quantity on
-concrete instances and prints the rows recorded in EXPERIMENTS.md.
+(E1–E10, see DESIGN.md section 3) that measures the corresponding quantity on
+concrete instances and prints the rows recorded in EXPERIMENTS.md.  E10 is
+post-paper: it streams the same workloads through the online auction
+subsystem (:mod:`repro.online`) and reports empirical competitive ratios.
 
 Run from the command line::
 

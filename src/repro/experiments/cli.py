@@ -35,7 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one experiment or all of them")
     run_parser.add_argument(
         "experiment",
-        help="experiment id (E1..E9) or 'all'",
+        help="experiment id (E1..E10) or 'all'",
     )
     run_parser.add_argument(
         "--full",

@@ -1,4 +1,4 @@
-"""The experiment registry: E1 .. E9 with a uniform ``run()`` interface."""
+"""The experiment registry: E1 .. E10 with a uniform ``run()`` interface."""
 
 from __future__ import annotations
 
@@ -16,6 +16,7 @@ from repro.experiments import (
     e7_repetitions,
     e8_comparison,
     e9_scaling,
+    e10_online_competitive,
 )
 from repro.experiments.harness import ExperimentResult
 
@@ -53,6 +54,7 @@ _MODULES = [
     (e7_repetitions, "Theorem 5.1"),
     (e8_comparison, "Section 1.1 comparison claims"),
     (e9_scaling, "Running-time claims of Theorems 3.1 and 5.1"),
+    (e10_online_competitive, "Section 1 motivation: online bandwidth auctions"),
 ]
 
 EXPERIMENTS: Mapping[str, ExperimentSpec] = {
@@ -68,8 +70,8 @@ EXPERIMENTS: Mapping[str, ExperimentSpec] = {
 
 
 def available_experiments() -> list[str]:
-    """Sorted list of experiment identifiers."""
-    return sorted(EXPERIMENTS)
+    """Experiment identifiers in numeric order (E1, E2, ..., E10)."""
+    return sorted(EXPERIMENTS, key=lambda key: int(key[1:]))
 
 
 def get_experiment(experiment_id: str) -> ExperimentSpec:

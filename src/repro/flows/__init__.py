@@ -11,6 +11,7 @@ edge capacities.
 from repro.flows.request import Request, normalize_requests
 from repro.flows.instance import UFPInstance
 from repro.flows.allocation import Allocation, RoutedRequest, edge_loads
+from repro.flows.streaming import AdmissionEvent, StreamingAllocation
 from repro.flows.generators import (
     random_requests,
     random_instance,
@@ -27,6 +28,8 @@ __all__ = [
     "Allocation",
     "RoutedRequest",
     "edge_loads",
+    "AdmissionEvent",
+    "StreamingAllocation",
     "random_requests",
     "random_instance",
     "hotspot_instance",

@@ -4,6 +4,13 @@ Random workloads draw request terminals, demands and values from simple
 distributions over a given topology; the adversarial workloads wrap the
 Figure 2 / Figure 3 constructions of :mod:`repro.graphs.lower_bounds` into
 ready-to-run :class:`~repro.flows.instance.UFPInstance` objects.
+
+All stochastic generators here follow the library-wide determinism
+contract (see :mod:`repro.graphs.generators`): ``seed`` is an ``int``, a
+shared :class:`numpy.random.Generator`, or ``None`` for the fixed default;
+identical seeds reproduce identical instances bit for bit.  The
+lower-bound constructions (:func:`staircase_instance`,
+:func:`ring7_instance`) are fully deterministic and take no seed at all.
 """
 
 from __future__ import annotations

@@ -1,0 +1,105 @@
+"""Streaming allocations: the output of an *online* unsplittable-flow auction.
+
+An offline :class:`~repro.flows.allocation.Allocation` is a set of (request,
+path) pairs; a streaming run additionally has a *history* — when each request
+arrived, in which batch it was admitted, what its normalized price was at
+admission time, and what it was charged.  :class:`StreamingAllocation`
+extends :class:`Allocation` with that history, so everything that consumes
+allocations (feasibility validation, edge loads, value accounting, the
+experiment harness) works on online results unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flows.allocation import Allocation
+
+__all__ = ["AdmissionEvent", "StreamingAllocation"]
+
+
+@dataclass(frozen=True)
+class AdmissionEvent:
+    """One irrevocable admission decision of an online auction.
+
+    Attributes
+    ----------
+    request_index:
+        Index of the request in arrival order (the index space of the
+        finalized instance).
+    batch:
+        Index of the arrival batch whose processing admitted the request.
+        For the built-in policies this always equals ``arrival_batch``
+        (greedy defers only past budget exhaustion, which is final, and
+        threshold prices out monotonically); the field exists so future
+        policies that genuinely defer admissions stay representable.
+    arrival_batch:
+        Index of the batch the request arrived in.
+    arrival_time:
+        Timestamp attached to the arrival batch by the arrival process.
+    score:
+        The exact normalized score ``(d_r / v_r) * dist_y(s_r, t_r)`` at the
+        moment of admission.
+    payment:
+        The online critical-value payment charged (0 when payments were not
+        computed).
+    """
+
+    request_index: int
+    batch: int
+    arrival_batch: int
+    arrival_time: float
+    score: float
+    payment: float = 0.0
+
+
+@dataclass
+class StreamingAllocation(Allocation):
+    """An :class:`Allocation` plus the admission history that produced it.
+
+    Attributes
+    ----------
+    events:
+        One :class:`AdmissionEvent` per routed request, in admission order
+        (aligned with ``routed``).
+    rejected:
+        Arrival-order indices of requests that were *not* admitted — either
+        explicitly priced out by the admission policy, unroutable, or still
+        pending when the stream ended.
+    num_batches:
+        Number of arrival batches processed.
+    payments:
+        Per-request payments aligned with the finalized instance's request
+        order (all zeros when payments were not computed).
+    """
+
+    events: list[AdmissionEvent] = field(default_factory=list)
+    rejected: tuple[int, ...] = ()
+    num_batches: int = 0
+    payments: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def revenue(self) -> float:
+        """Total online payments collected."""
+        return float(self.payments.sum()) if self.payments.size else 0.0
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of arrived requests that were admitted (1.0 when no
+        requests arrived)."""
+        total = self.instance.num_requests
+        return (self.num_selected / total) if total else 1.0
+
+    def admission_times(self) -> list[float]:
+        """Arrival timestamps of the admitted requests, in admission order."""
+        return [event.arrival_time for event in self.events]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingAllocation(algorithm={self.algorithm!r}, "
+            f"selected={self.num_selected}/{self.instance.num_requests}, "
+            f"batches={self.num_batches}, value={self.value:g}, "
+            f"revenue={self.revenue:g})"
+        )

@@ -4,6 +4,18 @@ These provide the synthetic workload topologies for the experiments.  All of
 them take a uniform ``capacity`` (or a capacity range) so that the capacity
 bound ``B = min_e c_e`` of the generated instance is easy to control — the
 paper's algorithms require ``B = Omega(ln m / eps^2)``.
+
+Determinism contract
+--------------------
+Every stochastic generator in this package (and in
+:mod:`repro.flows.generators` / :mod:`repro.auctions.generators`) accepts
+the same ``seed`` parameter, normalized by
+:func:`repro.utils.prng.ensure_rng`: an ``int`` seed, a shared
+:class:`numpy.random.Generator` (consumed in place, so several generators
+can draw from one deterministic stream), or ``None`` for the library-wide
+fixed default seed.  The same seed always reproduces the identical object,
+bit for bit — ``tests/test_generator_determinism.py`` enforces this for
+every generator.
 """
 
 from __future__ import annotations
@@ -189,17 +201,29 @@ def grid_graph(
 
 def ring_graph(
     num_vertices: int,
-    capacity: float,
+    capacity: float | tuple[float, float],
     *,
     directed: bool = False,
+    seed: int | np.random.Generator | None = None,
 ) -> CapacitatedGraph:
-    """A simple cycle on ``num_vertices`` vertices with uniform capacity."""
+    """A simple cycle on ``num_vertices`` vertices.
+
+    ``capacity`` is a constant or a ``(low, high)`` range sampled uniformly
+    per edge — the same convention (and the same ``seed`` handling) as every
+    other generator in this module.  With a constant capacity the topology
+    is fully deterministic and ``seed`` is never consulted.
+    """
     if num_vertices < 3:
         raise InvalidInstanceError("a ring needs at least 3 vertices")
-    edges = [
-        (i, (i + 1) % num_vertices, float(capacity)) for i in range(num_vertices)
-    ]
-    return CapacitatedGraph(num_vertices, edges, directed=directed)
+    pairs = [(i, (i + 1) % num_vertices) for i in range(num_vertices)]
+    # A constant capacity consumes no randomness, so a shared generator
+    # passes through ring_graph unperturbed in that case.
+    caps = _capacity_array(ensure_rng(seed), len(pairs), capacity)
+    return CapacitatedGraph(
+        num_vertices,
+        [(u, v, float(c)) for (u, v), c in zip(pairs, caps)],
+        directed=directed,
+    )
 
 
 def isp_topology(

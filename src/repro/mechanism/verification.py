@@ -16,7 +16,7 @@ such rules unusable as mechanisms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -95,6 +95,7 @@ def audit_ufp_truthfulness(
     *,
     agents: list[int] | None = None,
     misreports_per_agent: int = 6,
+    misreport_grid: Sequence[tuple[float, float]] | None = None,
     tolerance: float = 1e-4,
     seed: int | np.random.Generator | None = None,
 ) -> TruthfulnessReport:
@@ -112,6 +113,13 @@ def audit_ufp_truthfulness(
         How many random ``(demand, value)`` misreports to try per agent, in
         addition to two structured ones (value inflated to win, value deflated
         just above the truthful payment).
+    misreport_grid:
+        Optional deterministic ``(demand_factor, value_factor)`` multipliers
+        applied to each agent's *true* type and tried for every audited
+        agent, on top of the random draws.  A grid makes the audit's
+        coverage explicit and seed-independent (the property tests sweep
+        e.g. ``{0.5, 1, 2} x {0.25, 0.5, 1, 2, 4}``); demand factors are
+        clipped into the normalized ``(0, 1]`` demand range.
     tolerance:
         Utility gains below this threshold are attributed to the payment
         bisection tolerance and not reported.
@@ -139,6 +147,13 @@ def audit_ufp_truthfulness(
             )
             value = float(true_request.value * rng.uniform(0.3, 3.0))
             misreports.append((demand, value))
+        for demand_factor, value_factor in misreport_grid or ():
+            misreports.append(
+                (
+                    float(np.clip(true_request.demand * demand_factor, 1e-6, 1.0)),
+                    float(true_request.value * value_factor),
+                )
+            )
         # Structured misreports: inflate the value a lot (try to force a win),
         # and shade the value down towards the payment (try to pay less).
         misreports.append((true_request.demand, true_request.value * 10.0))
@@ -185,10 +200,15 @@ def audit_muca_truthfulness(
     *,
     agents: list[int] | None = None,
     misreports_per_agent: int = 6,
+    value_grid: Sequence[float] | None = None,
     tolerance: float = 1e-4,
     seed: int | np.random.Generator | None = None,
 ) -> TruthfulnessReport:
-    """Value-misreport audit of the auction mechanism (known single-minded)."""
+    """Value-misreport audit of the auction mechanism (known single-minded).
+
+    ``value_grid`` optionally adds deterministic value *multipliers* tried
+    for every audited bid on top of the random draws (the MUCA analogue of
+    :func:`audit_ufp_truthfulness`'s ``misreport_grid``)."""
     rng = ensure_rng(seed)
     indices = list(range(instance.num_bids)) if agents is None else [int(a) for a in agents]
     report = TruthfulnessReport()
@@ -206,6 +226,7 @@ def audit_muca_truthfulness(
         report.agents_audited += 1
 
         values = [float(true_bid.value * rng.uniform(0.3, 3.0)) for _ in range(int(misreports_per_agent))]
+        values.extend(float(true_bid.value * factor) for factor in value_grid or ())
         values.append(true_bid.value * 10.0)
         if truthful_selected and truthful_payment > 0:
             values.append(truthful_payment * 1.01)

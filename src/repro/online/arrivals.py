@@ -1,0 +1,201 @@
+"""Arrival processes: *when* requests reach the online auction.
+
+An arrival process turns a workload (a sequence of
+:class:`~repro.flows.request.Request` objects, typically produced by the
+:mod:`repro.flows.generators`) into a time-stamped stream of
+:class:`Batch` objects.  The *what* (terminals, demands, values) and the
+*when* (interarrival law, batching) are deliberately decoupled, so the same
+workload can be replayed under a Poisson law, as adversarially-ordered
+singletons, or in synchronized bursts — the knob the E10 experiment sweeps.
+
+All processes are deterministic given their seed (``int`` seed, shared
+:class:`numpy.random.Generator`, or ``None`` for the library default), in
+line with the library-wide PRNG convention of :mod:`repro.utils.prng`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.flows.instance import UFPInstance
+from repro.flows.request import Request
+from repro.utils.prng import ensure_rng
+
+__all__ = [
+    "Batch",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "adversarial_arrivals",
+    "trace_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One batch of simultaneous arrivals.
+
+    Attributes
+    ----------
+    time:
+        The (model) timestamp of the batch; non-decreasing over a stream.
+    requests:
+        The requests arriving at that instant, in arrival order.
+    """
+
+    time: float
+    requests: tuple[Request, ...]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def poisson_arrivals(
+    requests: Iterable[Request],
+    *,
+    rate: float = 1.0,
+    batch_window: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+) -> Iterator[Batch]:
+    """Stream ``requests`` with exponential(``rate``) interarrival times.
+
+    Parameters
+    ----------
+    rate:
+        Mean number of arrivals per unit time; must be positive.
+    batch_window:
+        When positive, arrivals falling into the same ``batch_window``-wide
+        time bucket are coalesced into one batch (modelling a server that
+        accumulates requests and clears the auction periodically); when zero
+        every request is its own singleton batch.
+    seed:
+        Shared generator or seed for the interarrival draws.
+    """
+    if rate <= 0.0:
+        raise InvalidInstanceError("poisson_arrivals needs a positive rate")
+    if batch_window < 0.0:
+        raise InvalidInstanceError("batch_window must be non-negative")
+    rng = ensure_rng(seed)
+
+    clock = 0.0
+    bucket: list[Request] = []
+    bucket_id = -1
+    bucket_time = 0.0
+    for request in requests:
+        clock += float(rng.exponential(1.0 / rate))
+        if batch_window <= 0.0:
+            yield Batch(time=clock, requests=(request,))
+            continue
+        this_bucket = int(math.floor(clock / batch_window))
+        if this_bucket != bucket_id and bucket:
+            yield Batch(time=bucket_time, requests=tuple(bucket))
+            bucket = []
+        bucket_id = this_bucket
+        bucket_time = clock
+        bucket.append(request)
+    if bucket:
+        yield Batch(time=bucket_time, requests=tuple(bucket))
+
+
+def bursty_arrivals(
+    requests: Iterable[Request],
+    *,
+    burst_size: int = 8,
+    gap: float = 1.0,
+    shuffle: bool = False,
+    seed: int | np.random.Generator | None = None,
+) -> Iterator[Batch]:
+    """Stream ``requests`` in synchronized bursts of ``burst_size``.
+
+    Models flash-crowd traffic: long quiet periods punctuated by batches of
+    simultaneous requests.  With ``shuffle=True`` the workload order is
+    permuted first (seeded); otherwise the declaration order is kept and the
+    process is fully deterministic without drawing randomness at all.
+    """
+    if burst_size < 1:
+        raise InvalidInstanceError("burst_size must be at least 1")
+    if gap < 0.0:
+        raise InvalidInstanceError("gap must be non-negative")
+    items = list(requests)
+    if shuffle:
+        rng = ensure_rng(seed)
+        order = rng.permutation(len(items))
+        items = [items[int(i)] for i in order]
+    for burst_index in range(0, len(items), burst_size):
+        yield Batch(
+            time=(burst_index // burst_size) * gap,
+            requests=tuple(items[burst_index : burst_index + burst_size]),
+        )
+
+
+def adversarial_arrivals(
+    requests: Iterable[Request],
+    *,
+    order: str = "density_ascending",
+) -> Iterator[Batch]:
+    """Stream ``requests`` one by one in an adversarial order.
+
+    The classic bad order for irrevocable greedy admission presents the
+    *least* valuable traffic first, so early commitments consume capacity
+    that later, better requests then cannot get:
+
+    * ``"density_ascending"`` — by value-per-unit-demand, worst first (the
+      default; the analogue of the staircase lower-bound's early cheap
+      requests);
+    * ``"value_ascending"`` — by raw value, worst first;
+    * ``"value_descending"`` — best first (a *benign* order, useful as the
+      other endpoint when measuring order sensitivity).
+
+    Ties are broken by declaration order, so the stream is deterministic.
+    """
+    items = list(requests)
+    keys = {
+        "density_ascending": lambda pair: (pair[1].density, pair[0]),
+        "value_ascending": lambda pair: (pair[1].value, pair[0]),
+        "value_descending": lambda pair: (-pair[1].value, pair[0]),
+    }
+    if order not in keys:
+        raise InvalidInstanceError(
+            f"unknown adversarial order {order!r}; choose from {sorted(keys)}"
+        )
+    ranked = sorted(enumerate(items), key=keys[order])
+    for position, (_, request) in enumerate(ranked):
+        yield Batch(time=float(position), requests=(request,))
+
+
+def trace_arrivals(
+    trace: UFPInstance | str | Path,
+    *,
+    batch_size: int = 1,
+) -> Iterator[Batch]:
+    """Replay the requests of a stored instance as a stream.
+
+    ``trace`` is either a live :class:`~repro.flows.instance.UFPInstance`
+    or a path to a JSON file written by :func:`repro.io.save_json`; requests
+    are replayed in declaration order, ``batch_size`` at a time, with unit
+    time between batches.  This is the bridge from archived workloads
+    (benchmark instances, bug-report attachments) to the online driver.
+    """
+    if batch_size < 1:
+        raise InvalidInstanceError("batch_size must be at least 1")
+    if not isinstance(trace, UFPInstance):
+        from repro.io import load_json
+
+        loaded = load_json(trace)
+        if not isinstance(loaded, UFPInstance):
+            raise InvalidInstanceError(
+                f"trace file {trace!s} holds a {type(loaded).__name__}, "
+                "expected a ufp_instance"
+            )
+        trace = loaded
+    reqs: Sequence[Request] = trace.requests
+    for start in range(0, len(reqs), batch_size):
+        yield Batch(
+            time=float(start // batch_size),
+            requests=tuple(reqs[start : start + batch_size]),
+        )

@@ -1,0 +1,360 @@
+"""The online streaming auction driver.
+
+``Bounded-UFP`` is stated as a one-shot offline auction, but its primal-dual
+structure is natively online: the dual weights ``y_e`` are exponential
+*prices* that only ever grow, and the selection rule "take the request whose
+normalized price is lowest" needs only the requests seen so far.
+:class:`OnlineAuction` runs exactly that loop over a stream of arrivals:
+
+* one :class:`~repro.core.dual_state.DualWeights` instance carries the price
+  state across the whole stream (the budget stopping rule of line 5 /
+  Lemma 3.3 applies verbatim, so the running allocation is always feasible);
+* one :class:`~repro.core.pricing_engine.PathPricingEngine` carries the
+  request pool and the shortest-path-tree caches across batches.  A new
+  arrival is priced against the cached tree of its source whenever that tree
+  is untouched (no admitted path intersected its parent-edge set) — the
+  incremental-friendliness built in PR 1 is what makes per-arrival admission
+  cheap, a couple of list indexings instead of a Dijkstra run per request.
+
+Two admission policies are provided:
+
+* ``"greedy"`` — per batch, keep admitting the globally cheapest pending
+  request until the dual budget fires or nothing routable remains.  This is
+  the direct online analogue of the offline loop.  Note that it leaves a
+  request pending only when the budget has fired, and the budget only ever
+  grows, so in practice every admission happens in its arrival batch — the
+  pool exists to order admissions *within* a batch, not to defer them.
+* ``"threshold"`` — admit only while the winner's normalized score
+  ``(d_r / v_r) |p_r|_y`` is at most ``score_threshold``.  Since scores are
+  monotone non-decreasing over the run, a request priced out once is priced
+  out forever; this is the classic online-packing posted-price rule (admit
+  iff the declared value covers the current path price when the threshold
+  is 1).
+
+Online payments charge each admitted request its *batch critical value*:
+the smallest declared value at which the same batch, replayed from the dual
+state at the batch's start, would still have admitted it.  The replay reuses
+the :mod:`repro.mechanism.payments` bisection, and because every probe run
+starts from the same snapshot weights, the per-graph tree memo makes the
+probes warm-start on cached shortest-path trees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from repro.core.dual_state import DualWeights
+from repro.core.pricing_engine import PathPricingEngine, PricingStats, Selection
+from repro.exceptions import InvalidInstanceError
+from repro.flows.allocation import RoutedRequest
+from repro.flows.instance import UFPInstance
+from repro.flows.request import Request
+from repro.flows.streaming import AdmissionEvent, StreamingAllocation
+from repro.graphs.graph import CapacitatedGraph
+from repro.online.arrivals import Batch
+from repro.types import RunStats
+
+__all__ = ["OnlineAuction", "drain_engine"]
+
+AdmissionPolicy = Literal["greedy", "threshold"]
+
+
+def drain_engine(
+    engine: PathPricingEngine,
+    duals: DualWeights,
+    *,
+    admission: AdmissionPolicy,
+    score_threshold: float,
+) -> list[Selection]:
+    """Run one batch's admission loop to quiescence and return the admitted
+    selections in admission order.
+
+    This single function defines the admission semantics; the live driver
+    and the payment-bisection replays both call it, so probe runs replicate
+    the real decisions exactly (same tie-breaking, same budget rule, same
+    threshold comparison).
+    """
+    admitted: list[Selection] = []
+    while engine.num_pending and duals.within_budget:
+        selection = engine.select()
+        if selection is None:
+            break
+        if admission == "threshold" and selection.score > score_threshold:
+            # Scores are monotone non-decreasing, so nothing pending can
+            # ever come back under the threshold; return the uncommitted
+            # winner to the pool and stop this batch.
+            engine.requeue(selection)
+            break
+        engine.commit(selection)
+        admitted.append(selection)
+    return admitted
+
+
+class OnlineAuction:
+    """Incremental ``Bounded-UFP`` over a stream of request arrivals.
+
+    Parameters
+    ----------
+    graph:
+        The capacitated substrate the whole stream is routed on.
+    epsilon:
+        The accuracy parameter of the exponential price update, in
+        ``(0, 1]`` (same role as in :func:`repro.core.bounded_ufp`).
+    admission:
+        ``"greedy"`` or ``"threshold"`` — see the module docstring.
+    score_threshold:
+        The admission price cap for the ``"threshold"`` policy (ignored by
+        ``"greedy"``).  The natural unit-free choice is 1.0: admit while the
+        declared value covers the current normalized path price.
+    capacity_bound:
+        Override for ``B`` (defaults to ``min_e c_e``, the paper's choice
+        for normalized demands).
+    compute_payments:
+        Charge every admitted request its batch critical value (bisection
+        replays per winner — significantly more work per admitted request;
+        leave off when only the allocation matters).
+    relative_tolerance / absolute_tolerance:
+        Bisection tolerances for the payment computation.
+    name:
+        Label for the finalized instance / allocation.
+    """
+
+    def __init__(
+        self,
+        graph: CapacitatedGraph,
+        epsilon: float,
+        *,
+        admission: AdmissionPolicy = "greedy",
+        score_threshold: float = 1.0,
+        capacity_bound: float | None = None,
+        compute_payments: bool = False,
+        relative_tolerance: float = 1e-6,
+        absolute_tolerance: float = 1e-9,
+        name: str = "online",
+    ) -> None:
+        if admission not in ("greedy", "threshold"):
+            raise InvalidInstanceError(
+                f"unknown admission policy {admission!r}; use 'greedy' or 'threshold'"
+            )
+        if admission == "threshold" and score_threshold <= 0.0:
+            raise InvalidInstanceError("score_threshold must be positive")
+        self._graph = graph
+        self._epsilon = float(epsilon)
+        self._admission: AdmissionPolicy = admission
+        self._threshold = float(score_threshold)
+        self._compute_payments = bool(compute_payments)
+        self._rel_tol = float(relative_tolerance)
+        self._abs_tol = float(absolute_tolerance)
+        self._name = str(name)
+
+        self._duals = DualWeights(
+            graph.capacities, self._epsilon, capacity_bound=capacity_bound
+        )
+        self._engine = PathPricingEngine(
+            graph,
+            (),
+            self._duals,
+            tie_tolerance=1e-15,
+            index_tie_break=True,
+            remove_selected=True,
+        )
+        # The engine owns the request pool (arrival order == engine-global
+        # index order); the auction only keeps per-index arrival metadata.
+        self._arrival_batch: list[int] = []
+        self._arrival_time: list[float] = []
+        self._events: list[AdmissionEvent] = []
+        self._routed: list[RoutedRequest] = []
+        self._payments: dict[int, float] = {}
+        self._num_batches = 0
+        self._wall_time = 0.0
+        # Dual-state snapshot for payment replays, refreshed only after a
+        # batch that admitted someone (non-admitting batches leave the
+        # duals untouched, so the cached copy stays valid) — one O(m) copy
+        # per admitting batch instead of one per arriving batch.
+        self._snapshot = self._duals.copy() if self._compute_payments else None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def duals(self) -> DualWeights:
+        """The live price state (shared with the pricing engine)."""
+        return self._duals
+
+    @property
+    def pricing_stats(self) -> PricingStats:
+        """Cache/laziness counters of the underlying pricing engine."""
+        return self._engine.stats
+
+    @property
+    def num_arrived(self) -> int:
+        return self._engine.num_requests
+
+    @property
+    def num_admitted(self) -> int:
+        return len(self._routed)
+
+    @property
+    def num_pending(self) -> int:
+        """Requests neither admitted nor dropped as unroutable."""
+        return self._engine.num_pending
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the dual budget still allows admissions."""
+        return self._duals.within_budget
+
+    # ------------------------------------------------------------------ #
+    # Stream consumption
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, requests: Sequence[Request], *, time: float = 0.0
+    ) -> list[AdmissionEvent]:
+        """Process one arrival batch and return the admissions it caused.
+
+        Arrivals are recorded, priced incrementally (cached trees of
+        untouched sources are reused, not recomputed), and the admission
+        loop runs to quiescence: the batch's arrivals are admitted in
+        global cheapest-first order, interleaved with any still-pending
+        earlier requests in the pool.
+        """
+        start = _time.perf_counter()
+        batch_index = self._num_batches
+        self._num_batches += 1
+
+        new_requests = tuple(requests)
+        for request in new_requests:
+            self._arrival_batch.append(batch_index)
+            self._arrival_time.append(float(time))
+
+        new_indices = self._engine.add_requests(new_requests)
+        admitted = drain_engine(
+            self._engine,
+            self._duals,
+            admission=self._admission,
+            score_threshold=self._threshold,
+        )
+
+        events: list[AdmissionEvent] = []
+        for selection in admitted:
+            request = self._engine.request_at(selection.index)
+            self._routed.append(
+                RoutedRequest(
+                    request_index=selection.index,
+                    request=request,
+                    vertices=selection.vertices,
+                    edge_ids=selection.edge_ids,
+                    copies=1,
+                )
+            )
+            events.append(
+                AdmissionEvent(
+                    request_index=selection.index,
+                    batch=batch_index,
+                    arrival_batch=self._arrival_batch[selection.index],
+                    arrival_time=self._arrival_time[selection.index],
+                    score=selection.score,
+                )
+            )
+
+        if self._compute_payments and admitted:
+            from repro.online.payments import batch_critical_values
+
+            # The replay pool is exactly this batch's arrivals.  Leftovers
+            # from earlier batches can never be admitted (greedy leaves the
+            # pool non-empty only once the budget has fired, which is
+            # final; threshold prices out against monotone scores) and,
+            # never being the argmin below the threshold, never influence
+            # which other requests a drain admits — so excluding them is
+            # behavior-identical and keeps replay cost O(batch), not
+            # O(stream).
+            payments = batch_critical_values(
+                self._graph,
+                self._snapshot,
+                [(i, self._engine.request_at(i)) for i in new_indices],
+                [selection.index for selection in admitted],
+                admission=self._admission,
+                score_threshold=self._threshold,
+                relative_tolerance=self._rel_tol,
+                absolute_tolerance=self._abs_tol,
+            )
+            self._payments.update(payments)
+            events = [
+                dataclasses.replace(
+                    event, payment=payments.get(event.request_index, 0.0)
+                )
+                for event in events
+            ]
+
+        self._events.extend(events)
+        if self._compute_payments and admitted:
+            self._snapshot = self._duals.copy()
+        self._wall_time += _time.perf_counter() - start
+        return events
+
+    def run(self, stream: Iterable[Batch]) -> StreamingAllocation:
+        """Consume a whole arrival stream and return the finalized result."""
+        for batch in stream:
+            self.submit(batch.requests, time=batch.time)
+        return self.finalize()
+
+    def finalize(self) -> StreamingAllocation:
+        """Snapshot the run as a :class:`StreamingAllocation`.
+
+        Requests still pending (greedy policy, budget never fired) and
+        requests priced out or unroutable are reported as rejected; the
+        embedded instance holds every request that arrived, in arrival
+        order, so offline algorithms can be run on it for competitive-ratio
+        comparisons.
+        """
+        num_arrived = self._engine.num_requests
+        instance = UFPInstance(
+            self._graph,
+            [self._engine.request_at(i) for i in range(num_arrived)],
+            name=self._name,
+            metadata={
+                "kind": "online-stream",
+                "admission": self._admission,
+                "score_threshold": self._threshold,
+                "epsilon": self._epsilon,
+                "num_batches": self._num_batches,
+            },
+        )
+        admitted_set = {item.request_index for item in self._routed}
+        rejected = tuple(i for i in range(num_arrived) if i not in admitted_set)
+        payments = np.zeros(num_arrived, dtype=np.float64)
+        for index, payment in self._payments.items():
+            payments[index] = payment
+        stats = RunStats(
+            iterations=len(self._routed),
+            shortest_path_calls=self._engine.stats.dijkstra_calls,
+            stopped_by_budget=not self._duals.within_budget,
+            wall_time_s=self._wall_time,
+            extra={
+                "final_dual_budget": self._duals.budget,
+                "dual_budget_limit": self._duals.budget_limit,
+                "epsilon": self._epsilon,
+                "capacity_bound": self._duals.capacity_bound,
+                "num_batches": float(self._num_batches),
+                **self._engine.stats.as_extra(),
+            },
+        )
+        policy = (
+            f"threshold={self._threshold:g}"
+            if self._admission == "threshold"
+            else "greedy"
+        )
+        return StreamingAllocation(
+            instance=instance,
+            routed=list(self._routed),
+            stats=stats,
+            algorithm=f"Online-Bounded-UFP(eps={self._epsilon:g}, {policy})",
+            events=list(self._events),
+            rejected=rejected,
+            num_batches=self._num_batches,
+            payments=payments,
+        )

@@ -1,0 +1,122 @@
+"""Online critical-value payments: VCG-style charging per admitted batch.
+
+Offline, a winner pays the smallest declared value at which it would still
+win (:mod:`repro.mechanism.payments`).  Online, decisions are irrevocable
+and made per batch, so the right analogue holds the *history* fixed: an
+admitted request pays the smallest declared value at which **its batch,
+replayed from the dual state at the batch's start, would still have
+admitted it**.  The batch admission rule inherits value-monotonicity from
+``Bounded-UFP`` (raising a request's value only lowers its normalized
+score), so the threshold exists and the same bisection machinery applies —
+:func:`repro.mechanism.payments._bisect_critical_value` is reused verbatim,
+with "one mechanism run" meaning "one batch replay".
+
+Each replay builds a throwaway engine on a copy of the snapshot duals.  All
+probes of all winners of a batch start from the *same* snapshot weight
+vector, so the per-graph shortest-path-tree memo (keyed by exact weight
+bytes) converts every probe's initial pricing sweep into warm cache hits —
+the same trick that makes offline payment bisection cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dual_state import DualWeights
+from repro.core.pricing_engine import PathPricingEngine
+from repro.flows.request import Request
+from repro.graphs.graph import CapacitatedGraph
+from repro.mechanism.payments import _bisect_critical_value
+
+__all__ = ["batch_critical_values"]
+
+
+def batch_critical_values(
+    graph: CapacitatedGraph,
+    snapshot: DualWeights,
+    pool: Sequence[tuple[int, Request]],
+    admitted: Sequence[int],
+    *,
+    admission: str,
+    score_threshold: float,
+    relative_tolerance: float = 1e-6,
+    absolute_tolerance: float = 1e-9,
+    max_iterations: int = 60,
+) -> dict[int, float]:
+    """Critical values for the winners of one online batch.
+
+    Parameters
+    ----------
+    graph:
+        The substrate graph (shared with the live run, so replays hit its
+        tree memo).
+    snapshot:
+        The dual state at the batch's start (as captured by
+        ``DualWeights.copy()``); never mutated here — every replay works on
+        its own copy.
+    pool:
+        The batch's decision pool: ``(global_index, request)`` pairs in
+        ascending global-index order, so local replay order reproduces the
+        live engine's index tie-breaking.  The caller passes exactly the
+        batch's arrivals: pre-existing leftovers are permanently
+        unadmittable under both policies and never influence a drain (see
+        :meth:`repro.online.auction.OnlineAuction.submit`), so including
+        them would only change the local index space the replay relies on.
+    admitted:
+        Global indices the live run admitted in this batch.
+    admission / score_threshold:
+        The live run's admission policy, forwarded to the replay.
+
+    Returns
+    -------
+    dict
+        ``global_index -> critical value`` for every admitted request.
+    """
+    from repro.online.auction import drain_engine
+
+    global_indices = [index for index, _ in pool]
+    requests = [request for _, request in pool]
+    local_of = {index: position for position, index in enumerate(global_indices)}
+
+    def admits(local_index: int, value: float) -> bool:
+        probe_requests = list(requests)
+        probe_requests[local_index] = probe_requests[local_index].with_value(value)
+        duals = snapshot.copy()
+        engine = PathPricingEngine(
+            graph,
+            probe_requests,
+            duals,
+            tie_tolerance=1e-15,
+            index_tie_break=True,
+            remove_selected=True,
+        )
+        selections = drain_engine(
+            engine,
+            duals,
+            admission=admission,  # type: ignore[arg-type]
+            score_threshold=score_threshold,
+        )
+        return any(selection.index == local_index for selection in selections)
+
+    payments: dict[int, float] = {}
+    for index in admitted:
+        local_index = local_of[index]
+        declared = requests[local_index].value
+
+        def is_selected_at(value: float, _local: int = local_index) -> bool:
+            if value <= 0.0:
+                return False
+            return admits(_local, value)
+
+        payments[index] = _bisect_critical_value(
+            is_selected_at,
+            declared,
+            relative_tolerance=relative_tolerance,
+            absolute_tolerance=absolute_tolerance,
+            max_iterations=max_iterations,
+            # The live run admitted this request at its declaration, and the
+            # replay reproduces the live decisions exactly, so skip the
+            # confirming probe (the same fast path as compute_ufp_payments).
+            known_selected=True,
+        )
+    return payments

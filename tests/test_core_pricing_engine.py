@@ -320,3 +320,74 @@ class TestSubstrateCaches:
         ids = np.array([0, 2], dtype=np.int64)
         assert duals.path_length(ids) == duals.path_length([0, 2])
         assert duals.path_length(np.array([], dtype=np.int64)) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Streaming admission into a live engine (the repro.online substrate)
+# --------------------------------------------------------------------- #
+class TestStreamingEngineAPI:
+    def _engine(self, instance, requests=()):
+        duals = DualWeights(instance.graph.capacities, 0.5)
+        return PathPricingEngine(
+            instance.graph, requests, duals,
+            tie_tolerance=1e-15, index_tie_break=True, remove_selected=True,
+        )
+
+    def test_add_requests_assigns_consecutive_indices_and_liveness(self):
+        from repro.flows import Request
+        from repro.graphs import CapacitatedGraph
+        from repro.flows import UFPInstance
+
+        graph = CapacitatedGraph(3, [(0, 1, 5.0)], directed=True)
+        instance = UFPInstance(graph, [])
+        engine = self._engine(instance)
+        assert engine.num_requests == 0
+        first = engine.add_requests([Request(0, 1, 1.0, 2.0)])
+        # Vertex 2 is unreachable: the request is dropped on arrival.
+        second = engine.add_requests([Request(0, 2, 1.0, 2.0), Request(0, 1, 1.0, 1.0)])
+        assert first == [0] and second == [1, 2]
+        assert engine.num_requests == 3
+        assert engine.is_live(0) and not engine.is_live(1) and engine.is_live(2)
+        selection = engine.select()
+        engine.commit(selection)
+        assert not engine.is_live(selection.index)
+
+    def test_streamed_pool_selects_identically_to_constructed_pool(self):
+        """Adding the whole request list via add_requests is equivalent to
+        constructing the engine with it: same selection sequence, paths and
+        scores — streaming changes *when* requests enter, never the
+        semantics of selection."""
+        instance = random_instance(
+            num_vertices=9, edge_probability=0.3, capacity=10.0,
+            num_requests=18, demand_range=(0.3, 1.0), seed=21,
+        )
+
+        def run(engine):
+            out = []
+            while engine.num_pending and engine.duals.within_budget:
+                selection = engine.select()
+                if selection is None:
+                    break
+                engine.commit(selection)
+                out.append((selection.index, selection.score, selection.edge_ids))
+            return out
+
+        constructed = self._engine(instance, instance.requests)
+        streamed = self._engine(instance)
+        mid = len(instance.requests) // 2
+        streamed.add_requests(instance.requests[:mid])
+        streamed.add_requests(instance.requests[mid:])
+        assert run(streamed) == run(constructed)
+
+    def test_requeue_returns_the_same_selection(self):
+        instance = random_instance(
+            num_vertices=8, edge_probability=0.35, capacity=10.0,
+            num_requests=12, seed=3,
+        )
+        engine = self._engine(instance, instance.requests)
+        first = engine.select()
+        engine.requeue(first)
+        again = engine.select()
+        assert (first.index, first.score, first.edge_ids) == (
+            again.index, again.score, again.edge_ids
+        )

@@ -54,8 +54,8 @@ class TestHarness:
 
 
 class TestRegistry:
-    def test_all_nine_registered(self):
-        assert available_experiments() == [f"E{i}" for i in range(1, 10)]
+    def test_all_experiments_registered_in_numeric_order(self):
+        assert available_experiments() == [f"E{i}" for i in range(1, 11)]
 
     def test_get_experiment_case_insensitive(self):
         spec = get_experiment("e3")

@@ -267,3 +267,74 @@ class TestTruthfulnessAudits:
             seed=3,
         )
         assert report.agents_audited == 1
+
+
+@pytest.mark.property
+class TestTruthfulnessPerturbationGrids:
+    """Deviation sweeps over explicit misreport grids on random instances.
+
+    These go beyond the random-draw audits above: every audited agent is
+    perturbed across the full factor grid, so the coverage is deterministic
+    and seed-independent, and the payment computations inside the audit
+    exercise the ``assume_selected`` bisection fast path from the lazy
+    engine rewiring (see the fast-path equivalence test below).
+    """
+
+    UFP_GRID = [
+        (d, v)
+        for d in (0.5, 1.0, 2.0)
+        for v in (0.25, 0.5, 1.0, 2.0, 4.0)
+        if (d, v) != (1.0, 1.0)
+    ]
+    MUCA_GRID = [0.1, 0.5, 0.9, 1.1, 2.0, 5.0]
+
+    @pytest.mark.parametrize("seed", [11, 29, 47])
+    def test_no_ufp_agent_gains_across_the_grid(self, seed):
+        instance = random_instance(
+            num_vertices=7, edge_probability=0.35, capacity=8.0,
+            num_requests=10, demand_range=(0.4, 1.0), seed=seed,
+        )
+        report = audit_ufp_truthfulness(
+            partial(bounded_ufp, epsilon=0.5),
+            instance,
+            misreports_per_agent=0,
+            misreport_grid=self.UFP_GRID,
+            seed=seed,
+        )
+        assert report.is_truthful, report.summary()
+        # Every agent saw the whole grid plus the structured inflation lie.
+        assert report.misreports_tried >= len(self.UFP_GRID) * instance.num_requests
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_no_muca_bidder_gains_across_the_grid(self, seed):
+        from repro.auctions import random_auction
+
+        auction = random_auction(
+            num_items=6, num_bids=12, multiplicity=6.0,
+            bundle_size_range=(1, 3), seed=seed,
+        )
+        report = audit_muca_truthfulness(
+            partial(bounded_muca, epsilon=0.5),
+            auction,
+            misreports_per_agent=0,
+            value_grid=self.MUCA_GRID,
+            seed=seed,
+        )
+        assert report.is_truthful, report.summary()
+        assert report.misreports_tried >= len(self.MUCA_GRID) * auction.num_bids
+
+    def test_assume_selected_fast_path_matches_guarded_payments(self):
+        """The audit's payments ride on the ``assume_selected`` fast path;
+        this pins the fast path to the verifying slow path bit for bit."""
+        instance = random_instance(
+            num_vertices=7, edge_probability=0.35, capacity=8.0,
+            num_requests=12, demand_range=(0.4, 1.0), seed=13,
+        )
+        algorithm = partial(bounded_ufp, epsilon=0.5)
+        allocation = algorithm(instance)
+        assert allocation.num_selected > 0
+        fast = compute_ufp_payments(algorithm, instance, allocation)
+        guarded = compute_ufp_payments(
+            algorithm, instance, allocation, verify_winners=True
+        )
+        np.testing.assert_array_equal(fast, guarded)
