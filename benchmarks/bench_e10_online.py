@@ -3,8 +3,8 @@
 from conftest import run_and_report
 
 
-def test_e10_online_competitive(benchmark):
-    result = run_and_report(benchmark, "E10")
+def test_e10_online_competitive(benchmark, jobs):
+    result = run_and_report(benchmark, "E10", jobs=jobs)
     greedy_rows = [row for row in result.rows if row["policy"] == "greedy"]
     assert greedy_rows, "E10 must measure at least one greedy streaming cell"
     for row in greedy_rows:

@@ -8,8 +8,8 @@ iteration bound.
 from conftest import run_and_report
 
 
-def test_e1_bounded_ufp_approximation(benchmark):
-    result = run_and_report(benchmark, "E1")
+def test_e1_bounded_ufp_approximation(benchmark, jobs):
+    result = run_and_report(benchmark, "E1", jobs=jobs)
     # Every cell's measured ratio stays within the paper guarantee whenever
     # the capacity assumption holds.
     assert all(row["within_guarantee"] for row in result.rows)

@@ -10,8 +10,8 @@ from conftest import run_and_report
 from repro.types import E_OVER_E_MINUS_1
 
 
-def test_e2_directed_staircase_lower_bound(benchmark):
-    result = run_and_report(benchmark, "E2")
+def test_e2_directed_staircase_lower_bound(benchmark, jobs):
+    result = run_and_report(benchmark, "E2", jobs=jobs)
     adversarial_rows = [
         row for row in result.rows if not row["algorithm"].startswith("Bounded-UFP on subdivided")
     ]

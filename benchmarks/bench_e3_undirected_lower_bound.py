@@ -9,6 +9,6 @@ import pytest
 from conftest import run_and_report
 
 
-def test_e3_undirected_ring_lower_bound(benchmark):
-    result = run_and_report(benchmark, "E3")
+def test_e3_undirected_ring_lower_bound(benchmark, jobs):
+    result = run_and_report(benchmark, "E3", jobs=jobs)
     assert all(row["measured_ratio"] == pytest.approx(4.0 / 3.0) for row in result.rows)

@@ -8,8 +8,8 @@ the paper's motivation for a deterministic primal-dual mechanism.
 from conftest import run_and_report
 
 
-def test_e4_truthfulness_audits(benchmark):
-    result = run_and_report(benchmark, "E4")
+def test_e4_truthfulness_audits(benchmark, jobs):
+    result = run_and_report(benchmark, "E4", jobs=jobs)
     by_check = {(row["algorithm"], row["check"]): row for row in result.rows}
     assert by_check[("Bounded-UFP", "monotonicity (Def. 2.1)")]["passes"]
     assert by_check[("Bounded-UFP + critical payments", "truthfulness (Thm. 2.3)")]["passes"]

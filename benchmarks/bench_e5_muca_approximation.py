@@ -3,6 +3,6 @@
 from conftest import run_and_report
 
 
-def test_e5_bounded_muca_approximation(benchmark):
-    result = run_and_report(benchmark, "E5")
+def test_e5_bounded_muca_approximation(benchmark, jobs):
+    result = run_and_report(benchmark, "E5", jobs=jobs)
     assert all(row["within_guarantee"] for row in result.rows)

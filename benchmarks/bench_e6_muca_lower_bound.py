@@ -9,7 +9,7 @@ import pytest
 from conftest import run_and_report
 
 
-def test_e6_partition_lower_bound(benchmark):
-    result = run_and_report(benchmark, "E6")
+def test_e6_partition_lower_bound(benchmark, jobs):
+    result = run_and_report(benchmark, "E6", jobs=jobs)
     for row in result.rows:
         assert row["measured_ratio"] == pytest.approx(4.0 * row["p"] / (3.0 * row["p"] + 1.0))

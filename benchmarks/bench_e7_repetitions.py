@@ -3,6 +3,6 @@
 from conftest import run_and_report
 
 
-def test_e7_repetitions(benchmark):
-    result = run_and_report(benchmark, "E7")
+def test_e7_repetitions(benchmark, jobs):
+    result = run_and_report(benchmark, "E7", jobs=jobs)
     assert all(row["measured_ratio"] <= row["paper_guarantee"] + 1e-9 for row in result.rows)

@@ -3,8 +3,8 @@
 from conftest import run_and_report
 
 
-def test_e8_algorithm_comparison(benchmark):
-    result = run_and_report(benchmark, "E8")
+def test_e8_algorithm_comparison(benchmark, jobs):
+    result = run_and_report(benchmark, "E8", jobs=jobs)
     # Bounded-UFP never loses to the BKV-style baseline on any workload.
     by_workload: dict[str, dict[str, float]] = {}
     for row in result.rows:

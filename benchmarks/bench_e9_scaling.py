@@ -3,8 +3,8 @@
 from conftest import run_and_report
 
 
-def test_e9_running_time_scaling(benchmark):
-    result = run_and_report(benchmark, "E9")
+def test_e9_running_time_scaling(benchmark, jobs):
+    result = run_and_report(benchmark, "E9", jobs=jobs)
     for row in result.rows:
         if row["algorithm"] == "Bounded-UFP":
             assert row["iterations"] <= row["requests"]

@@ -74,8 +74,11 @@ def test_bench_garg_konemann(benchmark, medium_instance):
     assert result.objective > 0.0
 
 
-def test_bench_critical_value_payments(benchmark):
-    """Critical-value payments for the winners of a 15-request instance."""
+def test_bench_critical_value_payments(benchmark, jobs):
+    """Critical-value payments for the winners of a 15-request instance.
+
+    Honors ``--jobs N``: the per-winner bisections fan out over a process
+    pool with byte-identical payments (see ``repro.parallel``)."""
     instance = random_instance(
         num_vertices=8, edge_probability=0.4, capacity=10.0,
         num_requests=15, demand_range=(0.4, 1.0), seed=3,
@@ -84,7 +87,10 @@ def test_bench_critical_value_payments(benchmark):
     def run():
         allocation = bounded_ufp(instance, 0.4)
         return compute_ufp_payments(
-            lambda declared: bounded_ufp(declared, 0.4), instance, allocation
+            lambda declared: bounded_ufp(declared, 0.4),
+            instance,
+            allocation,
+            jobs=jobs,
         )
 
     payments = benchmark.pedantic(run, rounds=1, iterations=1)

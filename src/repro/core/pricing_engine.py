@@ -88,7 +88,7 @@ import numpy as np
 
 from repro.core.dual_state import DualWeights
 from repro.graphs.graph import CapacitatedGraph
-from repro.graphs.shortest_path import dijkstra_lists
+from repro.graphs.shortest_path import dijkstra_lists, get_backend
 
 __all__ = [
     "PathPricingEngine",
@@ -374,35 +374,93 @@ class PathPricingEngine:
         for e in tree.edge_set:
             self._edge_sources.setdefault(e, set()).add(source)
 
-    def _compute_tree(self, source: int) -> _PricedTree:
+    def _memo_get(self, source: int) -> tuple[tuple | None, _PricedTree | None]:
+        """Tree-memo lookup: ``(key, tree)``; ``key`` is ``None`` when the
+        memo is disabled, ``tree`` is ``None`` on a miss."""
         memo = self._tree_memo
-        if memo is not None:
-            wb = self._w_bytes
-            if wb is None:
-                wb = self._w_bytes = self._weights.tobytes()
-            key = (wb, source)
-            tree = self._initial_tree_memo.get(key)
-            if tree is None:
-                tree = memo.get(key)
-            if tree is not None:
-                self.stats.warm_start_hits += 1
-                return tree
+        if memo is None:
+            return None, None
+        wb = self._w_bytes
+        if wb is None:
+            wb = self._w_bytes = self._weights.tobytes()
+        key = (wb, source)
+        tree = self._initial_tree_memo.get(key)
+        if tree is None:
+            tree = memo.get(key)
+        return key, tree
+
+    def _memo_put(self, key: tuple | None, tree: _PricedTree) -> None:
+        memo = self._tree_memo
+        if memo is None or key is None:
+            return
+        if self._duals is not None and self._duals.num_updates == 0:
+            # Initial-weight tree: every future run starts here, so it
+            # is exempt from cap eviction (bounded by #sources).
+            self._initial_tree_memo[key] = tree
+        else:
+            if len(memo) >= self._memo_cap:
+                memo.clear()
+            memo[key] = tree
+
+    def _compute_tree(self, source: int) -> _PricedTree:
+        key, tree = self._memo_get(source)
+        if tree is not None:
+            self.stats.warm_start_hits += 1
+            return tree
         indptr, heads, eids = self._csr
         dist, pv, pe = dijkstra_lists(
             self._n, indptr, heads, eids, self._weights_list(), source
         )
         self.stats.dijkstra_calls += 1
         tree = _PricedTree(source, dist, pv, pe)
-        if memo is not None:
-            if self._duals is not None and self._duals.num_updates == 0:
-                # Initial-weight tree: every future run starts here, so it
-                # is exempt from cap eviction (bounded by #sources).
-                self._initial_tree_memo[key] = tree
-            else:
-                if len(memo) >= self._memo_cap:
-                    memo.clear()
-                memo[key] = tree
+        self._memo_put(key, tree)
         return tree
+
+    def _get_trees_batch(self, sources: Sequence[int]) -> dict[int, _PricedTree]:
+        """Fetch/compute the trees of several sources, registering each.
+
+        Cache and memo bookkeeping mirrors per-source :meth:`_get_tree`
+        exactly; only the misses change code path — under a batch-capable
+        backend (scipy) all missing trees come from **one** vectorized
+        multi-source call instead of one kernel run per source.
+        """
+        result: dict[int, _PricedTree] = {}
+        missing: list[tuple[int, tuple | None]] = []
+        for source in sources:
+            tree = self._trees.get(source)
+            if tree is not None:
+                self.stats.tree_reuses += 1
+                result[source] = tree
+                continue
+            key, tree = self._memo_get(source)
+            if tree is not None:
+                self.stats.warm_start_hits += 1
+                self._register_tree(source, tree)
+                result[source] = tree
+            else:
+                missing.append((source, key))
+        if missing:
+            srcs = [source for source, _ in missing]
+            backend = get_backend()
+            if backend.supports_batch and len(srcs) > 1:
+                raw = backend.trees(
+                    self._graph, srcs, self._weights,
+                    weights_list=self._weights_list(),
+                )
+            else:
+                indptr, heads, eids = self._csr
+                wl = self._weights_list()
+                raw = [
+                    dijkstra_lists(self._n, indptr, heads, eids, wl, s)
+                    for s in srcs
+                ]
+            for (source, key), (dist, pv, pe) in zip(missing, raw):
+                self.stats.dijkstra_calls += 1
+                tree = _PricedTree(source, dist, pv, pe)
+                self._memo_put(key, tree)
+                self._register_tree(source, tree)
+                result[source] = tree
+        return result
 
     def _get_tree(self, source: int) -> _PricedTree:
         tree = self._trees.get(source)
@@ -440,9 +498,9 @@ class PathPricingEngine:
             by_source.setdefault(req.source, []).append(idx)
             self._source_live[req.source] = self._source_live.get(req.source, 0) + 1
 
+        trees = self._get_trees_batch(list(by_source))
         for source, idxs in by_source.items():
-            tree = self._compute_tree(source)
-            self._register_tree(source, tree)
+            tree = trees[source]
             epoch = self._source_epoch.get(source, 0)
             dist = tree.dist
             for idx in idxs:
@@ -515,10 +573,20 @@ class PathPricingEngine:
         routable request remains.  Does *not* apply the dual update — call
         :meth:`commit` (duals mode) or :meth:`invalidate_path` (external
         weights mode) with the result.
+
+        Stale entries are refreshed in one of two ways with identical
+        results: under the default lists backend each is re-priced the
+        moment it pops; under a batch-capable backend (scipy) the pop phase
+        collects every stale entry within the refresh band and one
+        multi-source backend call refreshes all their trees at once.  The
+        fixpoint — which entries end up fresh, and the fold over their
+        exact scores — does not depend on the refresh order, so selections
+        (hence allocations) are bit-identical across backends.
         """
         if not self._pending:
             return None
         self.stats.eager_equivalent_calls += len(self._source_live)
+        batched = get_backend().supports_batch
         heap = self._heap
         stats = self.stats
         fresh: list[tuple[int, int, float]] = []  # (source, index, exact score)
@@ -527,6 +595,7 @@ class PathPricingEngine:
         anchor = math.inf
         band = self._band
         while True:
+            stale: dict[int, list[int]] = {}  # source -> popped stale indices
             while heap and heap[0][0] <= anchor + band:
                 score, idx, epoch = heapq.heappop(heap)
                 if self._selected[idx] or self._dropped[idx]:
@@ -540,6 +609,12 @@ class PathPricingEngine:
                     fresh_trees[idx] = self._trees[source]
                     if score < anchor:
                         anchor = score
+                elif batched:
+                    stale.setdefault(source, []).append(idx)
+                    if anchor == math.inf:
+                        # No fresh minimum yet: refresh before draining the
+                        # whole heap (laziness over batching).
+                        break
                 else:
                     tree = self._get_tree(source)
                     stats.repricings += 1
@@ -550,6 +625,24 @@ class PathPricingEngine:
                         continue
                     s = self._score(idx, req, d)
                     heapq.heappush(heap, (s, idx, self._source_epoch.get(source, 0)))
+            if stale:
+                trees = self._get_trees_batch(list(stale))
+                for source, idxs in stale.items():
+                    tree = trees[source]
+                    epoch = self._source_epoch.get(source, 0)
+                    for position, idx in enumerate(idxs):
+                        if position:
+                            # Mirror the sequential path's counters: the
+                            # second+ entry of a source hits its live tree.
+                            stats.tree_reuses += 1
+                        stats.repricings += 1
+                        req = self._requests[idx]
+                        d = tree.dist[req.target]
+                        if d == _INF:
+                            self._drop(idx)
+                            continue
+                        heapq.heappush(heap, (self._score(idx, req, d), idx, epoch))
+                continue
             if not fresh:
                 return None
             winner = self._fold(fresh)

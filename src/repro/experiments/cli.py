@@ -44,6 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--seed", type=int, default=None, help="root random seed")
     run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the cell fan-out (default: REPRO_JOBS env or "
+        "serial; 0 = all cores; results are bit-identical at any --jobs)",
+    )
+    run_parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text tables"
     )
     return parser
@@ -71,12 +78,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     quick = not args.full
     failed = False
     if args.experiment.lower() == "all":
-        results = run_all(quick=quick, seed=args.seed)
+        results = run_all(quick=quick, seed=args.seed, jobs=args.jobs)
         for result in results.values():
             _print_result(result, args.json)
             failed = failed or not result.all_claims_hold
     else:
-        result = get_experiment(args.experiment).run(quick=quick, seed=args.seed)
+        result = get_experiment(args.experiment).run(
+            quick=quick, seed=args.seed, jobs=args.jobs
+        )
         _print_result(result, args.json)
         failed = not result.all_claims_hold
     return 1 if failed else 0

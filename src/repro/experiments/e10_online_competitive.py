@@ -31,7 +31,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.bounded_ufp import bounded_ufp
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells
 from repro.flows.generators import isp_instance, random_instance
 from repro.flows.instance import UFPInstance
 from repro.flows.request import Request
@@ -102,72 +102,60 @@ def _workloads(quick: bool, rngs) -> list[tuple[str, UFPInstance]]:
     return cells
 
 
-def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
-    """Run the E10 online-vs-offline sweep."""
-    result = ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        columns=[
-            "workload", "arrival", "policy", "requests", "batches", "admitted",
-            "online_value", "offline_value", "value_ratio",
-            "online_revenue", "offline_revenue",
-            "sp_calls", "tree_reuses",
-        ],
-    )
-    # Seeding layout: rngs[0:2] build the two workloads, rngs[2:4] drive
-    # their arrival processes, rngs[4] builds the payment cell.
-    rngs = spawn_rngs(seed, 5)
-    total_tree_reuses = 0.0
+def _workload_cell(task) -> CellOutcome:
+    """One workload streamed under every arrival process."""
+    workload_name, instance, workload_rng = task
+    outcome = CellOutcome()
+    offline = bounded_ufp(instance, EPSILON)
+    for arrival_name, stream in _arrival_streams(instance, workload_rng).items():
+        auction = OnlineAuction(
+            instance.graph, EPSILON, admission="greedy", name=instance.name
+        )
+        online = auction.run(stream)
+        online.validate()
+        outcome.claim(
+            "online allocations are feasible (Lemma 3.3 carries over)",
+            online.is_feasible(),
+        )
+        value_ratio = (
+            online.value / offline.value if offline.value > 0 else math.inf
+        )
+        outcome.claim(
+            "online/offline value ratio is positive and finite",
+            0.0 < value_ratio < math.inf,
+        )
+        extra = online.stats.extra
+        outcome.add_row(
+            workload=workload_name,
+            arrival=arrival_name,
+            policy="greedy",
+            requests=instance.num_requests,
+            batches=online.num_batches,
+            admitted=online.num_selected,
+            online_value=online.value,
+            offline_value=offline.value,
+            value_ratio=value_ratio,
+            online_revenue=float("nan"),
+            offline_revenue=float("nan"),
+            sp_calls=online.stats.shortest_path_calls,
+            tree_reuses=extra.get("pricing_tree_reuses", 0.0),
+        )
+    return outcome
 
-    for (workload_name, instance), workload_rng in zip(
-        _workloads(quick, rngs[:2]), rngs[2:4]
-    ):
-        offline = bounded_ufp(instance, EPSILON)
-        for arrival_name, stream in _arrival_streams(instance, workload_rng).items():
-            auction = OnlineAuction(
-                instance.graph, EPSILON, admission="greedy", name=instance.name
-            )
-            online = auction.run(stream)
-            online.validate()
-            result.claim(
-                "online allocations are feasible (Lemma 3.3 carries over)",
-                online.is_feasible(),
-            )
-            value_ratio = (
-                online.value / offline.value if offline.value > 0 else math.inf
-            )
-            result.claim(
-                "online/offline value ratio is positive and finite",
-                0.0 < value_ratio < math.inf,
-            )
-            extra = online.stats.extra
-            total_tree_reuses += extra.get("pricing_tree_reuses", 0.0)
-            result.add_row(
-                workload=workload_name,
-                arrival=arrival_name,
-                policy="greedy",
-                requests=instance.num_requests,
-                batches=online.num_batches,
-                admitted=online.num_selected,
-                online_value=online.value,
-                offline_value=offline.value,
-                value_ratio=value_ratio,
-                online_revenue=float("nan"),
-                offline_revenue=float("nan"),
-                sp_calls=online.stats.shortest_path_calls,
-                tree_reuses=extra.get("pricing_tree_reuses", 0.0),
-            )
 
-    # Payment-enabled cell: batch critical values vs offline critical
-    # values.  Capacities are tight enough that both mechanisms actually
-    # charge (offline critical values are 0 on uncontended instances).
+def _payment_cell(task) -> CellOutcome:
+    """The payment-enabled cell: batch critical values vs offline critical
+    values.  Capacities are tight enough that both mechanisms actually
+    charge (offline critical values are 0 on uncontended instances)."""
+    quick, rng = task
+    outcome = CellOutcome()
     payment_instance = isp_instance(
         num_core=3,
         leaves_per_core=2,
         core_capacity=10.0,
         access_capacity=7.0,
         num_requests=25 if quick else 50,
-        seed=rngs[4],
+        seed=rng,
     )
     offline = bounded_ufp(payment_instance, EPSILON)
     offline_payments = compute_ufp_payments(
@@ -186,16 +174,15 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
     )
     online.validate()
     declared = online.instance.values_array()
-    result.claim(
+    outcome.claim(
         "online payments are individually rational (payment <= declared value)",
         bool(np.all(online.payments <= declared + 1e-9)),
     )
-    result.claim(
+    outcome.claim(
         "online allocations are feasible (Lemma 3.3 carries over)",
         online.is_feasible(),
     )
-    total_tree_reuses += online.stats.extra.get("pricing_tree_reuses", 0.0)
-    result.add_row(
+    outcome.add_row(
         workload="isp-small",
         arrival="bursty",
         policy="threshold+pay",
@@ -210,7 +197,42 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
         sp_calls=online.stats.shortest_path_calls,
         tree_reuses=online.stats.extra.get("pricing_tree_reuses", 0.0),
     )
+    return outcome
 
+
+def _cell(task) -> CellOutcome:
+    return _payment_cell(task[1:]) if task[0] == "payments" else _workload_cell(task[1:])
+
+
+def run(
+    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+) -> ExperimentResult:
+    """Run the E10 online-vs-offline sweep."""
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "workload", "arrival", "policy", "requests", "batches", "admitted",
+            "online_value", "offline_value", "value_ratio",
+            "online_revenue", "offline_revenue",
+            "sp_calls", "tree_reuses",
+        ],
+    )
+    # Seeding layout: rngs[0:2] build the two workloads, rngs[2:4] drive
+    # their arrival processes, rngs[4] builds the payment cell.
+    rngs = spawn_rngs(seed, 5)
+    tasks: list[tuple] = [
+        ("workload", workload_name, instance, workload_rng)
+        for (workload_name, instance), workload_rng in zip(
+            _workloads(quick, rngs[:2]), rngs[2:4]
+        )
+    ]
+    tasks.append(("payments", quick, rngs[4]))
+    result.merge(map_cells(_cell, tasks, jobs=jobs))
+
+    total_tree_reuses = sum(
+        row["tree_reuses"] for row in result.rows if not math.isnan(row["tree_reuses"])
+    )
     result.claim(
         "streaming admission reuses cached shortest-path trees across batches",
         total_tree_reuses > 0,

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 
 from repro.core.bounded_ufp import bounded_ufp
-from repro.experiments.harness import ExperimentResult, ratio
+from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells, ratio
 from repro.flows.generators import random_instance
 from repro.lp.fractional_ufp import solve_fractional_ufp
 from repro.mechanism.monotonicity import check_exactness
@@ -25,7 +25,57 @@ TITLE = "Bounded-UFP approximation vs fractional optimum (Theorem 3.1)"
 PAPER_CLAIM = "value(Bounded-UFP(eps)) >= OPT / ((1 + 6 eps) e/(e-1)) when B >= ln(m)/eps^2"
 
 
-def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
+def _cell(task) -> CellOutcome:
+    """One (cell, repeat) measurement; ``task`` carries its own RNG."""
+    (eps, capacity, num_vertices, edge_probability, num_requests, demand_low), rng = task
+    outcome = CellOutcome()
+    instance = random_instance(
+        num_vertices=num_vertices,
+        edge_probability=edge_probability,
+        capacity=capacity,
+        num_requests=num_requests,
+        demand_range=(demand_low, 1.0),
+        seed=rng,
+    )
+    allocation = bounded_ufp(instance, eps)
+    allocation.validate()
+    fractional = solve_fractional_ufp(instance)
+    measured = ratio(fractional.objective, allocation.value)
+    guarantee = (1.0 + 6.0 * eps) * E_OVER_E_MINUS_1
+    meets_assumption = instance.meets_capacity_assumption(eps)
+    within = (measured <= guarantee + 1e-9) or not meets_assumption
+
+    outcome.add_row(
+        eps=eps,
+        B=instance.capacity_bound(),
+        n=instance.num_vertices,
+        m=instance.num_edges,
+        requests=instance.num_requests,
+        alg_value=allocation.value,
+        frac_opt=fractional.objective,
+        measured_ratio=measured,
+        paper_guarantee=guarantee,
+        within_guarantee=within,
+        iterations=allocation.stats.iterations,
+    )
+    outcome.claim("allocation is feasible (Lemma 3.3)", allocation.is_feasible())
+    outcome.claim("allocation is exact (Definition 2.2)", check_exactness(allocation))
+    outcome.claim(
+        "iterations bounded by |R| (Theorem 3.1 running time)",
+        allocation.stats.iterations <= instance.num_requests,
+    )
+    if meets_assumption:
+        outcome.claim(PAPER_CLAIM, measured <= guarantee + 1e-9)
+    outcome.claim(
+        "algorithm value never exceeds the fractional optimum (weak duality)",
+        allocation.value <= fractional.objective + 1e-6,
+    )
+    return outcome
+
+
+def run(
+    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+) -> ExperimentResult:
     """Run the E1 sweep.
 
     Parameters
@@ -35,6 +85,9 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
         full sweep covers more ``eps``/``B``/size combinations.
     seed:
         Root seed of the sweep (deterministic default).
+    jobs:
+        Worker processes for the cell fan-out (results are bit-identical at
+        any ``jobs``; see :func:`repro.experiments.harness.map_cells`).
     """
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
@@ -70,52 +123,12 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
         repeats = 3
 
     rngs = spawn_rngs(seed, len(cells) * repeats)
-    cell_index = 0
-    for eps, capacity, num_vertices, edge_probability, num_requests, demand_low in cells:
-        for _ in range(repeats):
-            rng = rngs[cell_index]
-            cell_index += 1
-            instance = random_instance(
-                num_vertices=num_vertices,
-                edge_probability=edge_probability,
-                capacity=capacity,
-                num_requests=num_requests,
-                demand_range=(demand_low, 1.0),
-                seed=rng,
-            )
-            allocation = bounded_ufp(instance, eps)
-            allocation.validate()
-            fractional = solve_fractional_ufp(instance)
-            measured = ratio(fractional.objective, allocation.value)
-            guarantee = (1.0 + 6.0 * eps) * E_OVER_E_MINUS_1
-            meets_assumption = instance.meets_capacity_assumption(eps)
-            within = (measured <= guarantee + 1e-9) or not meets_assumption
-
-            result.add_row(
-                eps=eps,
-                B=instance.capacity_bound(),
-                n=instance.num_vertices,
-                m=instance.num_edges,
-                requests=instance.num_requests,
-                alg_value=allocation.value,
-                frac_opt=fractional.objective,
-                measured_ratio=measured,
-                paper_guarantee=guarantee,
-                within_guarantee=within,
-                iterations=allocation.stats.iterations,
-            )
-            result.claim("allocation is feasible (Lemma 3.3)", allocation.is_feasible())
-            result.claim("allocation is exact (Definition 2.2)", check_exactness(allocation))
-            result.claim(
-                "iterations bounded by |R| (Theorem 3.1 running time)",
-                allocation.stats.iterations <= instance.num_requests,
-            )
-            if meets_assumption:
-                result.claim(PAPER_CLAIM, measured <= guarantee + 1e-9)
-            result.claim(
-                "algorithm value never exceeds the fractional optimum (weak duality)",
-                allocation.value <= fractional.objective + 1e-6,
-            )
+    tasks = [
+        (cell, rngs[position * repeats + repeat])
+        for position, cell in enumerate(cells)
+        for repeat in range(repeats)
+    ]
+    result.merge(map_cells(_cell, tasks, jobs=jobs))
 
     result.notes = (
         "Random directed G(n, p) workloads; ratios are against the fractional LP "

@@ -20,7 +20,7 @@ from repro.core.reasonable import (
     UnitCapacityPriority,
     staircase_tie_break,
 )
-from repro.experiments.harness import ExperimentResult, ratio
+from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells, ratio
 from repro.flows.generators import staircase_instance
 from repro.types import E_OVER_E_MINUS_1
 
@@ -47,7 +47,71 @@ def _family_members(epsilon: float, capacity: float) -> dict[str, ReasonableIter
     }
 
 
-def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
+def _cell(task) -> CellOutcome:
+    """One ``(ell, B)`` staircase cell (fully deterministic)."""
+    ell, B, epsilon = task
+    outcome = CellOutcome()
+    instance = staircase_instance(ell, B)
+    optimum = instance.metadata["known_optimum"]
+    bound = instance.metadata["reasonable_upper_bound"]
+    paper_fraction = 1.0 - (B / (B + 1.0)) ** B
+
+    for label, algorithm in _family_members(epsilon, float(B)).items():
+        allocation = algorithm.run(instance)
+        allocation.validate()
+        fraction = allocation.value / optimum
+        outcome.add_row(
+            ell=ell,
+            B=B,
+            algorithm=label,
+            value=allocation.value,
+            optimum=optimum,
+            fraction=fraction,
+            paper_fraction_bound=paper_fraction,
+            implied_ratio=ratio(optimum, allocation.value),
+            **{"e/(e-1)": E_OVER_E_MINUS_1},
+        )
+        outcome.claim(PAPER_CLAIM, allocation.value <= bound + 1e-9)
+        outcome.claim(
+            "the adversarial schedule leaves value on the table "
+            "(strictly below the optimum)",
+            allocation.value < optimum - 1e-9,
+        )
+
+    # The tie-elimination variant: Bounded-UFP itself on the subdivided
+    # staircase (no adversarial tie-break involved).  Use eps = 1 and a
+    # capacity large enough that the budget stopping rule
+    # (e^{eps (B-1)} >= m) does not fire before the instance is exhausted
+    # on the much larger subdivided graph; the fraction is measured
+    # against that instance's own optimum B' * ell.
+    sub_B = max(B, 12)
+    subdivided = staircase_instance(ell, sub_B, subdivide=True)
+    sub_optimum = subdivided.metadata["known_optimum"]
+    sub_bound = subdivided.metadata["reasonable_upper_bound"]
+    allocation = bounded_ufp(subdivided, 1.0)
+    allocation.validate()
+    outcome.add_row(
+        ell=ell,
+        B=sub_B,
+        algorithm="Bounded-UFP on subdivided staircase",
+        value=allocation.value,
+        optimum=sub_optimum,
+        fraction=allocation.value / sub_optimum,
+        paper_fraction_bound=1.0 - (sub_B / (sub_B + 1.0)) ** sub_B,
+        implied_ratio=ratio(sub_optimum, allocation.value),
+        **{"e/(e-1)": E_OVER_E_MINUS_1},
+    )
+    outcome.claim(
+        "Bounded-UFP on the subdivided staircase also stays below the optimum "
+        "(Theorem 3.11 tie-elimination argument)",
+        allocation.value <= sub_bound + 1e-9,
+    )
+    return outcome
+
+
+def run(
+    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+) -> ExperimentResult:
     """Run the E2 staircase sweep (``seed`` is unused — fully deterministic)."""
     del seed
     result = ExperimentResult(
@@ -60,63 +124,9 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
     )
     epsilon = 0.5
     cells = [(10, 4), (16, 6)] if quick else [(10, 4), (16, 6), (24, 8), (32, 10)]
-
-    for ell, B in cells:
-        instance = staircase_instance(ell, B)
-        optimum = instance.metadata["known_optimum"]
-        bound = instance.metadata["reasonable_upper_bound"]
-        paper_fraction = 1.0 - (B / (B + 1.0)) ** B
-
-        for label, algorithm in _family_members(epsilon, float(B)).items():
-            allocation = algorithm.run(instance)
-            allocation.validate()
-            fraction = allocation.value / optimum
-            result.add_row(
-                ell=ell,
-                B=B,
-                algorithm=label,
-                value=allocation.value,
-                optimum=optimum,
-                fraction=fraction,
-                paper_fraction_bound=paper_fraction,
-                implied_ratio=ratio(optimum, allocation.value),
-                **{"e/(e-1)": E_OVER_E_MINUS_1},
-            )
-            result.claim(PAPER_CLAIM, allocation.value <= bound + 1e-9)
-            result.claim(
-                "the adversarial schedule leaves value on the table "
-                "(strictly below the optimum)",
-                allocation.value < optimum - 1e-9,
-            )
-
-        # The tie-elimination variant: Bounded-UFP itself on the subdivided
-        # staircase (no adversarial tie-break involved).  Use eps = 1 and a
-        # capacity large enough that the budget stopping rule
-        # (e^{eps (B-1)} >= m) does not fire before the instance is exhausted
-        # on the much larger subdivided graph; the fraction is measured
-        # against that instance's own optimum B' * ell.
-        sub_B = max(B, 12)
-        subdivided = staircase_instance(ell, sub_B, subdivide=True)
-        sub_optimum = subdivided.metadata["known_optimum"]
-        sub_bound = subdivided.metadata["reasonable_upper_bound"]
-        allocation = bounded_ufp(subdivided, 1.0)
-        allocation.validate()
-        result.add_row(
-            ell=ell,
-            B=sub_B,
-            algorithm="Bounded-UFP on subdivided staircase",
-            value=allocation.value,
-            optimum=sub_optimum,
-            fraction=allocation.value / sub_optimum,
-            paper_fraction_bound=1.0 - (sub_B / (sub_B + 1.0)) ** sub_B,
-            implied_ratio=ratio(sub_optimum, allocation.value),
-            **{"e/(e-1)": E_OVER_E_MINUS_1},
-        )
-        result.claim(
-            "Bounded-UFP on the subdivided staircase also stays below the optimum "
-            "(Theorem 3.11 tie-elimination argument)",
-            allocation.value <= sub_bound + 1e-9,
-        )
+    result.merge(
+        map_cells(_cell, [(ell, B, epsilon) for ell, B in cells], jobs=jobs)
+    )
 
     result.notes = (
         "fractions converge to 1 - 1/e ~ 0.632 from above as B grows; the implied "

@@ -14,7 +14,7 @@ from repro.core.reasonable import (
     ReasonableIterativeBundleMinimizer,
     partition_tie_break,
 )
-from repro.experiments.harness import ExperimentResult, ratio
+from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells, ratio
 from repro.lp.fractional_muca import solve_fractional_muca
 
 EXPERIMENT_ID = "E6"
@@ -22,7 +22,48 @@ TITLE = "Multi-unit auction lower bound (Figure 4, Theorem 4.5)"
 PAPER_CLAIM = "reasonable bundle minimizers achieve at most (3p+1)/4 * B out of the optimal p * B"
 
 
-def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
+def _cell(task) -> CellOutcome:
+    """One ``(p, B)`` partition-family cell (fully deterministic)."""
+    p, B, epsilon = task
+    outcome = CellOutcome()
+    instance = partition_instance(p, B)
+    optimum = instance.metadata["known_optimum"]
+    upper = instance.metadata["reasonable_upper_bound"]
+
+    fractional = solve_fractional_muca(instance)
+    outcome.claim(
+        "the fractional optimum is at least the known optimum p*B",
+        fractional.objective >= optimum - 1e-6,
+    )
+
+    algorithm = ReasonableIterativeBundleMinimizer(
+        BundleExponentialPriority(epsilon, float(B)), tie_break=partition_tie_break
+    )
+    allocation = algorithm.run(instance)
+    allocation.validate()
+    measured = ratio(optimum, allocation.value)
+    outcome.add_row(
+        p=p,
+        B=B,
+        items=instance.num_items,
+        bids=instance.num_bids,
+        value=allocation.value,
+        optimum=optimum,
+        measured_ratio=measured,
+        paper_ratio_4p_over_3p1=4.0 * p / (3.0 * p + 1.0),
+        limit_4_3=4.0 / 3.0,
+    )
+    outcome.claim(PAPER_CLAIM, allocation.value <= upper + 1e-9)
+    outcome.claim(
+        "the measured ratio matches the predicted 4p/(3p+1) exactly",
+        abs(measured - 4.0 * p / (3.0 * p + 1.0)) <= 1e-9,
+    )
+    return outcome
+
+
+def run(
+    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+) -> ExperimentResult:
     """Run the E6 sweep over ``p`` (deterministic; ``seed`` unused)."""
     del seed
     result = ExperimentResult(
@@ -35,40 +76,7 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
     )
     cells = [(3, 4), (5, 4)] if quick else [(3, 4), (5, 4), (7, 6), (9, 6), (11, 8)]
     epsilon = 0.5
-
-    for p, B in cells:
-        instance = partition_instance(p, B)
-        optimum = instance.metadata["known_optimum"]
-        upper = instance.metadata["reasonable_upper_bound"]
-
-        fractional = solve_fractional_muca(instance)
-        result.claim(
-            "the fractional optimum is at least the known optimum p*B",
-            fractional.objective >= optimum - 1e-6,
-        )
-
-        algorithm = ReasonableIterativeBundleMinimizer(
-            BundleExponentialPriority(epsilon, float(B)), tie_break=partition_tie_break
-        )
-        allocation = algorithm.run(instance)
-        allocation.validate()
-        measured = ratio(optimum, allocation.value)
-        result.add_row(
-            p=p,
-            B=B,
-            items=instance.num_items,
-            bids=instance.num_bids,
-            value=allocation.value,
-            optimum=optimum,
-            measured_ratio=measured,
-            paper_ratio_4p_over_3p1=4.0 * p / (3.0 * p + 1.0),
-            limit_4_3=4.0 / 3.0,
-        )
-        result.claim(PAPER_CLAIM, allocation.value <= upper + 1e-9)
-        result.claim(
-            "the measured ratio matches the predicted 4p/(3p+1) exactly",
-            abs(measured - 4.0 * p / (3.0 * p + 1.0)) <= 1e-9,
-        )
+    result.merge(map_cells(_cell, [(p, B, epsilon) for p, B in cells], jobs=jobs))
 
     result.notes = "ratios increase towards 4/3 as p grows, independent of B."
     return result

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.core.bounded_ufp import bounded_ufp
 from repro.core.bounded_ufp_repeat import bounded_ufp_repeat
-from repro.experiments.harness import ExperimentResult, ratio
+from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells, ratio
 from repro.flows.generators import random_instance
 from repro.lp.fractional_ufp import solve_fractional_ufp
 from repro.types import E_OVER_E_MINUS_1
@@ -22,7 +22,67 @@ TITLE = "Unsplittable flow with repetitions (Theorem 5.1)"
 PAPER_CLAIM = "value(Bounded-UFP-Repeat(eps)) >= OPT_rep / (1 + 6 eps) when B >= ln(m)/eps^2"
 
 
-def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
+def _cell(task) -> CellOutcome:
+    """One repetitions-vs-plain cell; ``task`` carries its own RNG."""
+    (eps, capacity, num_vertices, num_requests), rng = task
+    outcome = CellOutcome()
+    instance = random_instance(
+        num_vertices=num_vertices,
+        edge_probability=0.3,
+        capacity=capacity,
+        num_requests=num_requests,
+        demand_range=(0.3, 1.0),
+        seed=rng,
+    )
+    repeat_allocation = bounded_ufp_repeat(instance, eps)
+    repeat_allocation.validate(allow_repetitions=True)
+    fractional_rep = solve_fractional_ufp(instance, repetitions=True)
+    measured = ratio(fractional_rep.objective, repeat_allocation.value)
+    guarantee = 1.0 + 6.0 * eps
+    meets = instance.meets_capacity_assumption(eps)
+
+    # Contrast with the no-repetitions problem on the same instance.
+    plain_allocation = bounded_ufp(instance, eps)
+    fractional_plain = solve_fractional_ufp(instance)
+    plain_ratio = ratio(fractional_plain.objective, plain_allocation.value)
+
+    iteration_bound = (
+        instance.num_edges * instance.graph.max_capacity / instance.min_demand
+    )
+    outcome.add_row(
+        eps=eps,
+        B=instance.capacity_bound(),
+        m=instance.num_edges,
+        requests=instance.num_requests,
+        repeat_value=repeat_allocation.value,
+        frac_opt_rep=fractional_rep.objective,
+        measured_ratio=measured,
+        paper_guarantee=guarantee,
+        no_repeat_ratio_vs_its_opt=plain_ratio,
+        iteration_bound_m_cmax_over_dmin=iteration_bound,
+        iterations=repeat_allocation.stats.iterations,
+    )
+    outcome.claim("repetition allocation is feasible", repeat_allocation.is_feasible())
+    if meets:
+        outcome.claim(PAPER_CLAIM, measured <= guarantee + 1e-9)
+    outcome.claim(
+        "iterations within the m * c_max / d_min running-time bound (Thm. 5.1)",
+        repeat_allocation.stats.iterations <= iteration_bound + instance.num_edges,
+    )
+    outcome.claim(
+        "repetition value never exceeds the Figure 5 fractional optimum",
+        repeat_allocation.value <= fractional_rep.objective + 1e-6,
+    )
+    outcome.claim(
+        "allowing repetitions never decreases the achievable value",
+        repeat_allocation.value >= plain_allocation.value - 1e-9,
+    )
+    return outcome
+
+
+def run(
+    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+) -> ExperimentResult:
     """Run the E7 sweep."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
@@ -39,59 +99,7 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
         else [(0.35, 35.0, 12, 16), (0.30, 45.0, 12, 16), (0.25, 70.0, 12, 18), (0.20, 110.0, 10, 16)]
     )
     rngs = spawn_rngs(seed, len(cells))
-
-    for (eps, capacity, num_vertices, num_requests), rng in zip(cells, rngs):
-        instance = random_instance(
-            num_vertices=num_vertices,
-            edge_probability=0.3,
-            capacity=capacity,
-            num_requests=num_requests,
-            demand_range=(0.3, 1.0),
-            seed=rng,
-        )
-        repeat_allocation = bounded_ufp_repeat(instance, eps)
-        repeat_allocation.validate(allow_repetitions=True)
-        fractional_rep = solve_fractional_ufp(instance, repetitions=True)
-        measured = ratio(fractional_rep.objective, repeat_allocation.value)
-        guarantee = 1.0 + 6.0 * eps
-        meets = instance.meets_capacity_assumption(eps)
-
-        # Contrast with the no-repetitions problem on the same instance.
-        plain_allocation = bounded_ufp(instance, eps)
-        fractional_plain = solve_fractional_ufp(instance)
-        plain_ratio = ratio(fractional_plain.objective, plain_allocation.value)
-
-        iteration_bound = (
-            instance.num_edges * instance.graph.max_capacity / instance.min_demand
-        )
-        result.add_row(
-            eps=eps,
-            B=instance.capacity_bound(),
-            m=instance.num_edges,
-            requests=instance.num_requests,
-            repeat_value=repeat_allocation.value,
-            frac_opt_rep=fractional_rep.objective,
-            measured_ratio=measured,
-            paper_guarantee=guarantee,
-            no_repeat_ratio_vs_its_opt=plain_ratio,
-            iteration_bound_m_cmax_over_dmin=iteration_bound,
-            iterations=repeat_allocation.stats.iterations,
-        )
-        result.claim("repetition allocation is feasible", repeat_allocation.is_feasible())
-        if meets:
-            result.claim(PAPER_CLAIM, measured <= guarantee + 1e-9)
-        result.claim(
-            "iterations within the m * c_max / d_min running-time bound (Thm. 5.1)",
-            repeat_allocation.stats.iterations <= iteration_bound + instance.num_edges,
-        )
-        result.claim(
-            "repetition value never exceeds the Figure 5 fractional optimum",
-            repeat_allocation.value <= fractional_rep.objective + 1e-6,
-        )
-        result.claim(
-            "allowing repetitions never decreases the achievable value",
-            repeat_allocation.value >= plain_allocation.value - 1e-9,
-        )
+    result.merge(map_cells(_cell, list(zip(cells, rngs)), jobs=jobs))
 
     result.notes = (
         f"the (1 + 6 eps) guarantee contrasts with the e/(e-1) ~ {E_OVER_E_MINUS_1:.3f} "

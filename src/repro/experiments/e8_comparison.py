@@ -18,7 +18,7 @@ from repro.baselines.exact import exact_ufp
 from repro.baselines.greedy import greedy_ufp_by_density, greedy_ufp_by_value
 from repro.baselines.randomized_rounding import randomized_rounding_ufp
 from repro.core.bounded_ufp import bounded_ufp
-from repro.experiments.harness import ExperimentResult, ratio
+from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells, ratio
 from repro.flows.generators import (
     hotspot_instance,
     isp_instance,
@@ -82,7 +82,63 @@ def _workloads(quick: bool, seed: int | None) -> dict[str, UFPInstance]:
     return workloads
 
 
-def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
+def _cell(task) -> CellOutcome:
+    """One workload cell (full algorithm grid), or the small exact cell."""
+    outcome = CellOutcome()
+    if task[0] == "small-exact":
+        _, small = task
+        exact = exact_ufp(small, max_paths_per_request=40, max_path_hops=6)
+        primal_dual = bounded_ufp(small, 1.0)
+        frac_small = solve_fractional_ufp(small)
+        outcome.add_row(
+            workload="small-exact",
+            algorithm="Exact-UFP",
+            value=exact.value,
+            frac_opt=frac_small.objective,
+            ratio_vs_frac=ratio(frac_small.objective, exact.value),
+            feasible=exact.is_feasible(),
+        )
+        outcome.add_row(
+            workload="small-exact",
+            algorithm="Bounded-UFP",
+            value=primal_dual.value,
+            frac_opt=frac_small.objective,
+            ratio_vs_frac=ratio(frac_small.objective, primal_dual.value),
+            feasible=primal_dual.is_feasible(),
+        )
+        outcome.claim(
+            "the exact optimum lies between Bounded-UFP's value and the fractional bound",
+            primal_dual.value - 1e-9 <= exact.value <= frac_small.objective + 1e-6,
+        )
+        return outcome
+
+    workload_name, instance = task
+    fractional = solve_fractional_ufp(instance)
+    values: dict[str, float] = {}
+    for algorithm_name, algorithm in _algorithms().items():
+        allocation = algorithm(instance)
+        feasible = allocation.is_feasible()
+        values[algorithm_name] = allocation.value
+        outcome.add_row(
+            workload=workload_name,
+            algorithm=algorithm_name,
+            value=allocation.value,
+            frac_opt=fractional.objective,
+            ratio_vs_frac=ratio(fractional.objective, allocation.value),
+            feasible=feasible,
+        )
+        outcome.claim("every algorithm outputs a feasible allocation", feasible)
+
+    outcome.claim(
+        PAPER_CLAIM,
+        values["Bounded-UFP"] >= values["BKV-style (e-approx)"] - 1e-9,
+    )
+    return outcome
+
+
+def run(
+    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+) -> ExperimentResult:
     """Run the E8 comparison grid."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
@@ -90,30 +146,6 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
         columns=["workload", "algorithm", "value", "frac_opt", "ratio_vs_frac", "feasible"],
     )
     workloads = _workloads(quick, seed)
-
-    for workload_name, instance in workloads.items():
-        fractional = solve_fractional_ufp(instance)
-        values: dict[str, float] = {}
-        for algorithm_name, algorithm in _algorithms().items():
-            allocation = algorithm(instance)
-            feasible = allocation.is_feasible()
-            values[algorithm_name] = allocation.value
-            result.add_row(
-                workload=workload_name,
-                algorithm=algorithm_name,
-                value=allocation.value,
-                frac_opt=fractional.objective,
-                ratio_vs_frac=ratio(fractional.objective, allocation.value),
-                feasible=feasible,
-            )
-            result.claim("every algorithm outputs a feasible allocation", feasible)
-
-        # Exact optimum as ground truth on a small extra cell.
-        result.claim(
-            PAPER_CLAIM,
-            values["Bounded-UFP"] >= values["BKV-style (e-approx)"] - 1e-9,
-        )
-
     small = random_instance(
         num_vertices=7,
         edge_probability=0.4,
@@ -121,29 +153,10 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
         num_requests=10,
         seed=spawn_rngs(seed, 4)[3],
     )
-    exact = exact_ufp(small, max_paths_per_request=40, max_path_hops=6)
-    primal_dual = bounded_ufp(small, 1.0)
-    frac_small = solve_fractional_ufp(small)
-    result.add_row(
-        workload="small-exact",
-        algorithm="Exact-UFP",
-        value=exact.value,
-        frac_opt=frac_small.objective,
-        ratio_vs_frac=ratio(frac_small.objective, exact.value),
-        feasible=exact.is_feasible(),
-    )
-    result.add_row(
-        workload="small-exact",
-        algorithm="Bounded-UFP",
-        value=primal_dual.value,
-        frac_opt=frac_small.objective,
-        ratio_vs_frac=ratio(frac_small.objective, primal_dual.value),
-        feasible=primal_dual.is_feasible(),
-    )
-    result.claim(
-        "the exact optimum lies between Bounded-UFP's value and the fractional bound",
-        primal_dual.value - 1e-9 <= exact.value <= frac_small.objective + 1e-6,
-    )
+    # Exact optimum as ground truth on a small extra cell.
+    tasks: list = list(workloads.items())
+    tasks.append(("small-exact", small))
+    result.merge(map_cells(_cell, tasks, jobs=jobs))
 
     result.notes = (
         "ratios are against the fractional optimum; randomized rounding is included "

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.core.bounded_ufp import bounded_ufp
 from repro.core.bounded_ufp_repeat import bounded_ufp_repeat
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells
 from repro.flows.generators import random_instance
 from repro.utils.prng import spawn_rngs
 
@@ -24,8 +24,82 @@ PAPER_CLAIM = (
 )
 
 
-def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
-    """Run the E9 size sweep."""
+def _cell(task) -> CellOutcome:
+    """One size cell (both algorithms); ``task`` carries its own RNG."""
+    (num_vertices, num_requests), rng, epsilon = task
+    outcome = CellOutcome()
+    instance = random_instance(
+        num_vertices=num_vertices,
+        edge_probability=0.25,
+        capacity=50.0,
+        num_requests=num_requests,
+        demand_range=(0.2, 1.0),
+        seed=rng,
+    )
+    allocation = bounded_ufp(instance, epsilon)
+    sp_bound = instance.num_requests * instance.num_requests
+    extra = allocation.stats.extra
+    outcome.add_row(
+        algorithm="Bounded-UFP",
+        n=instance.num_vertices,
+        m=instance.num_edges,
+        requests=instance.num_requests,
+        iterations=allocation.stats.iterations,
+        sp_calls=allocation.stats.shortest_path_calls,
+        iteration_bound=instance.num_requests,
+        sp_call_bound=sp_bound,
+        wall_time_s=allocation.stats.wall_time_s,
+        lazy_pops=extra.get("pricing_lazy_pops", 0.0),
+        tree_reuses=extra.get("pricing_tree_reuses", 0.0),
+        sp_calls_saved=extra.get("pricing_dijkstra_calls_saved", 0.0),
+    )
+    outcome.claim(
+        "Bounded-UFP iterations <= |R|",
+        allocation.stats.iterations <= instance.num_requests,
+    )
+    outcome.claim(
+        "Bounded-UFP shortest-path calls <= |R|^2",
+        allocation.stats.shortest_path_calls <= sp_bound,
+    )
+
+    if instance.num_requests > 120:
+        # The repetitions algorithm's iteration count is governed by
+        # m * c_max / d_min rather than |R|; on the largest cells it would
+        # dominate the sweep's wall-clock without adding information, so
+        # it is measured on the smaller cells only.
+        return outcome
+    repeat = bounded_ufp_repeat(instance, epsilon)
+    repeat_bound = (
+        instance.num_edges * instance.graph.max_capacity / instance.min_demand
+        + instance.num_edges
+    )
+    repeat_extra = repeat.stats.extra
+    outcome.add_row(
+        algorithm="Bounded-UFP-Repeat",
+        n=instance.num_vertices,
+        m=instance.num_edges,
+        requests=instance.num_requests,
+        iterations=repeat.stats.iterations,
+        sp_calls=repeat.stats.shortest_path_calls,
+        iteration_bound=repeat_bound,
+        sp_call_bound=float("nan"),
+        wall_time_s=repeat.stats.wall_time_s,
+        lazy_pops=repeat_extra.get("pricing_lazy_pops", 0.0),
+        tree_reuses=repeat_extra.get("pricing_tree_reuses", 0.0),
+        sp_calls_saved=repeat_extra.get("pricing_dijkstra_calls_saved", 0.0),
+    )
+    outcome.claim(
+        "Bounded-UFP-Repeat iterations <= m * c_max / d_min (+ slack m)",
+        repeat.stats.iterations <= repeat_bound,
+    )
+    return outcome
+
+
+def run(
+    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+) -> ExperimentResult:
+    """Run the E9 size sweep (cells fan out; the iteration/SP-call counts
+    and bounds are scheduling-independent, only ``wall_time_s`` is noise)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -38,72 +112,8 @@ def run(*, quick: bool = True, seed: int | None = None) -> ExperimentResult:
     sizes = [(10, 30), (14, 60)] if quick else [(10, 30), (14, 60), (18, 100), (24, 160), (30, 240)]
     rngs = spawn_rngs(seed, len(sizes))
     epsilon = 0.3
-
-    for (num_vertices, num_requests), rng in zip(sizes, rngs):
-        instance = random_instance(
-            num_vertices=num_vertices,
-            edge_probability=0.25,
-            capacity=50.0,
-            num_requests=num_requests,
-            demand_range=(0.2, 1.0),
-            seed=rng,
-        )
-        allocation = bounded_ufp(instance, epsilon)
-        sp_bound = instance.num_requests * instance.num_requests
-        extra = allocation.stats.extra
-        result.add_row(
-            algorithm="Bounded-UFP",
-            n=instance.num_vertices,
-            m=instance.num_edges,
-            requests=instance.num_requests,
-            iterations=allocation.stats.iterations,
-            sp_calls=allocation.stats.shortest_path_calls,
-            iteration_bound=instance.num_requests,
-            sp_call_bound=sp_bound,
-            wall_time_s=allocation.stats.wall_time_s,
-            lazy_pops=extra.get("pricing_lazy_pops", 0.0),
-            tree_reuses=extra.get("pricing_tree_reuses", 0.0),
-            sp_calls_saved=extra.get("pricing_dijkstra_calls_saved", 0.0),
-        )
-        result.claim(
-            "Bounded-UFP iterations <= |R|",
-            allocation.stats.iterations <= instance.num_requests,
-        )
-        result.claim(
-            "Bounded-UFP shortest-path calls <= |R|^2",
-            allocation.stats.shortest_path_calls <= sp_bound,
-        )
-
-        if instance.num_requests > 120:
-            # The repetitions algorithm's iteration count is governed by
-            # m * c_max / d_min rather than |R|; on the largest cells it would
-            # dominate the sweep's wall-clock without adding information, so
-            # it is measured on the smaller cells only.
-            continue
-        repeat = bounded_ufp_repeat(instance, epsilon)
-        repeat_bound = (
-            instance.num_edges * instance.graph.max_capacity / instance.min_demand
-            + instance.num_edges
-        )
-        repeat_extra = repeat.stats.extra
-        result.add_row(
-            algorithm="Bounded-UFP-Repeat",
-            n=instance.num_vertices,
-            m=instance.num_edges,
-            requests=instance.num_requests,
-            iterations=repeat.stats.iterations,
-            sp_calls=repeat.stats.shortest_path_calls,
-            iteration_bound=repeat_bound,
-            sp_call_bound=float("nan"),
-            wall_time_s=repeat.stats.wall_time_s,
-            lazy_pops=repeat_extra.get("pricing_lazy_pops", 0.0),
-            tree_reuses=repeat_extra.get("pricing_tree_reuses", 0.0),
-            sp_calls_saved=repeat_extra.get("pricing_dijkstra_calls_saved", 0.0),
-        )
-        result.claim(
-            "Bounded-UFP-Repeat iterations <= m * c_max / d_min (+ slack m)",
-            repeat.stats.iterations <= repeat_bound,
-        )
+    tasks = [(size, rng, epsilon) for size, rng in zip(sizes, rngs)]
+    result.merge(map_cells(_cell, tasks, jobs=jobs))
 
     result.notes = "wall-clock times are informational; the claims are the iteration bounds."
     return result

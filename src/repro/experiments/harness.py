@@ -1,14 +1,25 @@
-"""Common result container and helpers for experiments."""
+"""Common result container and helpers for experiments.
+
+Besides the :class:`ExperimentResult` container this module hosts the
+experiment **fan-out**: every E-module shapes its sweep as a list of
+independent cell tasks (each carrying its own pre-derived RNG), a
+module-level cell function returning a :class:`CellOutcome`, and one
+:func:`map_cells` call.  ``map_cells`` routes the cells through
+:func:`repro.parallel.pmap`, so ``repro.experiments --jobs N`` fans a sweep
+out over worker processes while keeping the merged result bit-identical to
+the serial run (rows and claims are reassembled in cell order; wall-clock
+columns are, as always, timing-noise)."""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
+from repro import parallel
 from repro.utils.tables import Table
 
-__all__ = ["ExperimentResult", "ratio"]
+__all__ = ["ExperimentResult", "CellOutcome", "map_cells", "ratio"]
 
 
 def ratio(optimum: float, achieved: float) -> float:
@@ -17,6 +28,41 @@ def ratio(optimum: float, achieved: float) -> float:
     if achieved <= 0.0:
         return 1.0 if optimum <= 0.0 else math.inf
     return optimum / achieved
+
+
+@dataclass
+class CellOutcome:
+    """What one experiment cell contributes to its :class:`ExperimentResult`.
+
+    Cell functions run in worker processes under ``--jobs``, so instead of
+    mutating the shared result they return this picklable bundle; the
+    harness merges bundles in cell order via :meth:`ExperimentResult.merge`,
+    making the merged result independent of scheduling.
+    """
+
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    claims: list[tuple[str, bool]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def claim(self, description: str, holds: bool) -> None:
+        self.claims.append((description, bool(holds)))
+
+
+def map_cells(
+    cell_fn: Callable[[Any], CellOutcome],
+    tasks: Sequence[Any],
+    *,
+    jobs: int | None = None,
+) -> list[CellOutcome]:
+    """Run ``cell_fn`` over independent cell tasks, serially or fanned out.
+
+    Thin façade over :func:`repro.parallel.pmap`; the determinism contract
+    applies — each task must carry everything its cell needs (parameters and
+    a pre-derived RNG), so results are bit-identical at any ``jobs``.
+    """
+    return parallel.pmap(cell_fn, tasks, jobs=jobs)
 
 
 @dataclass
@@ -69,6 +115,13 @@ class ExperimentResult:
     def claim(self, description: str, holds: bool) -> None:
         """Register a claim outcome (ANDed if registered repeatedly)."""
         self.claims[description] = bool(holds) and self.claims.get(description, True)
+
+    def merge(self, outcomes: Sequence[CellOutcome]) -> None:
+        """Fold cell outcomes in, in order (rows appended, claims ANDed)."""
+        for outcome in outcomes:
+            self.rows.extend(outcome.rows)
+            for description, holds in outcome.claims:
+                self.claim(description, holds)
 
     def summary(self) -> str:
         lines = [self.table.render(), ""]

@@ -40,8 +40,16 @@ class ExperimentSpec:
     claim: str
     runner: Callable[..., ExperimentResult]
 
-    def run(self, *, quick: bool = True, seed: int | None = None) -> ExperimentResult:
-        return self.runner(quick=quick, seed=seed)
+    def run(
+        self,
+        *,
+        quick: bool = True,
+        seed: int | None = None,
+        jobs: int | None = None,
+    ) -> ExperimentResult:
+        """Run the experiment; ``jobs`` fans its cells out over worker
+        processes (results are bit-identical at any ``jobs``)."""
+        return self.runner(quick=quick, seed=seed, jobs=jobs)
 
 
 _MODULES = [
@@ -85,15 +93,21 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 
 
 def run_experiment(
-    experiment_id: str, *, quick: bool = True, seed: int | None = None
+    experiment_id: str,
+    *,
+    quick: bool = True,
+    seed: int | None = None,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result."""
-    return get_experiment(experiment_id).run(quick=quick, seed=seed)
+    return get_experiment(experiment_id).run(quick=quick, seed=seed, jobs=jobs)
 
 
-def run_all(*, quick: bool = True, seed: int | None = None) -> dict[str, ExperimentResult]:
+def run_all(
+    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+) -> dict[str, ExperimentResult]:
     """Run every registered experiment, in id order."""
     return {
-        experiment_id: EXPERIMENTS[experiment_id].run(quick=quick, seed=seed)
+        experiment_id: EXPERIMENTS[experiment_id].run(quick=quick, seed=seed, jobs=jobs)
         for experiment_id in available_experiments()
     }

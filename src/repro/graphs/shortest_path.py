@@ -22,11 +22,45 @@ Both tie-break identically: heap entries are ``(dist, vertex)`` tuples (so
 equal distances settle in vertex order), and a relaxation only overwrites a
 parent on a strict improvement (so the first arc, in CSR order from the
 earliest-settled tail, that attains the final distance is the parent).
+
+Pluggable backends
+------------------
+Full-tree computations (no ``targets`` early exit) are routed through a
+process-global **backend registry**:
+
+* ``"lists"`` — the flat-Python-list kernel above (the default);
+* ``"scipy"`` — batched ``scipy.sparse.csgraph.dijkstra`` over CSR arrays
+  cached on :attr:`CapacitatedGraph.substrate_cache`, with parent extraction
+  replaying the lists kernel's exact tie-breaking, so distances, parents and
+  therefore every downstream allocation are **bit-identical** to the lists
+  backend (enforced by the differential backend-parity suite).  Its batched
+  entry point :func:`multi_source_dijkstra` computes several source trees in
+  one vectorized C call — the pricing engine uses it to prime and to refresh
+  invalidated trees.
+
+Select with :func:`set_backend`/:func:`use_backend` or the
+``REPRO_SP_BACKEND`` environment variable.  The scipy backend transparently
+falls back to the lists kernel for the cases outside its contract (graphs
+with parallel edges, non-positive weights, explicit ``targets``), so
+selecting it is always safe.
+
+Why the scipy distances are bit-identical: with strictly positive weights
+the Dijkstra fixpoint over IEEE doubles is tie-break independent — every
+settled vertex satisfies ``dist[v] = min_u (dist[u] + w(u, v))`` over the
+tails with strictly smaller distance, and induction over the settle order
+shows any two conforming implementations compute the same double at every
+vertex.  Parents are then *reconstructed* under the lists kernel's rule (the
+first arc, in ``(settle rank of tail, CSR position)`` order, whose relaxation
+attains the final distance bit-for-bit), rather than trusting scipy's own
+predecessor tie-breaking.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,10 +72,19 @@ __all__ = [
     "ShortestPathResult",
     "dijkstra_lists",
     "single_source_dijkstra",
+    "multi_source_dijkstra",
     "reference_dijkstra",
     "shortest_path",
     "bellman_ford",
+    "set_backend",
+    "get_backend",
+    "use_backend",
+    "available_backends",
+    "BACKEND_ENV_VAR",
 ]
+
+#: Environment variable consulted for the initial backend selection.
+BACKEND_ENV_VAR = "REPRO_SP_BACKEND"
 
 
 @dataclass(frozen=True)
@@ -175,6 +218,229 @@ def dijkstra_lists(
     return dist, parent_vertex, parent_edge
 
 
+# --------------------------------------------------------------------- #
+# Backend registry
+# --------------------------------------------------------------------- #
+class ListsBackend:
+    """The default backend: the flat-Python-list Dijkstra kernel."""
+
+    name = "lists"
+    #: Whether :meth:`trees` computes several sources in one vectorized call
+    #: (the lists kernel just loops, so batching buys nothing).
+    supports_batch = False
+
+    def trees(
+        self,
+        graph: CapacitatedGraph,
+        sources: list[int],
+        weights: np.ndarray,
+        *,
+        weights_list: list[float] | None = None,
+    ) -> list[tuple[list[float], list[int], list[int]]]:
+        """Full shortest-path trees ``(dist, parent_vertex, parent_edge)``
+        as raw lists, one per source, in ``sources`` order."""
+        indptr, heads, eids = graph.csr_lists()
+        w = weights_list if weights_list is not None else weights.tolist()
+        n = graph.num_vertices
+        return [dijkstra_lists(n, indptr, heads, eids, w, s) for s in sources]
+
+
+class ScipyBackend:
+    """Batched ``scipy.sparse.csgraph.dijkstra`` with lists-kernel parents.
+
+    Distances for all requested sources come from one vectorized call on a
+    CSR matrix whose structure (``indptr``/``indices``/arc edge ids/arc
+    tails) is cached on the graph's substrate cache; only the per-arc data
+    vector ``weights[arc_edge_ids]`` is rebuilt per call.  Parents are then
+    reconstructed under the exact tie-breaking of :func:`dijkstra_lists`
+    (see the module docstring), keeping the output bit-identical.
+
+    Outside its contract — parallel edges (scipy's CSR canonicalization
+    sums duplicate entries), non-positive weights (the tie-break-independence
+    argument needs ``w > 0``) — it silently delegates to the lists kernel.
+    """
+
+    name = "scipy"
+    supports_batch = True
+
+    _CACHE_KEY = "shortest_path/scipy_csr"
+
+    def __init__(self) -> None:
+        from scipy.sparse import csr_matrix  # noqa: F401 - fail fast if absent
+        from scipy.sparse.csgraph import dijkstra  # noqa: F401
+
+    def _structure(self, graph: CapacitatedGraph):
+        cached = graph.substrate_cache.get(self._CACHE_KEY)
+        if cached is None:
+            indptr = graph.indptr
+            arc_heads = graph.adjacency_heads
+            arc_eids = graph.adjacency_edge_ids
+            arc_tails = np.repeat(
+                np.arange(graph.num_vertices, dtype=np.int64), np.diff(indptr)
+            )
+            # Parallel arcs (same tail and head) would be summed by scipy's
+            # duplicate canonicalization; detect once and delegate forever.
+            pair_keys = arc_tails * graph.num_vertices + arc_heads
+            has_parallel = bool(np.unique(pair_keys).size < pair_keys.size)
+            cached = (
+                indptr.astype(np.int32),
+                arc_heads.astype(np.int32),
+                arc_eids,
+                arc_tails,
+                has_parallel,
+            )
+            graph.substrate_cache[self._CACHE_KEY] = cached
+        return cached
+
+    def trees(
+        self,
+        graph: CapacitatedGraph,
+        sources: list[int],
+        weights: np.ndarray,
+        *,
+        weights_list: list[float] | None = None,
+    ) -> list[tuple[list[float], list[int], list[int]]]:
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
+
+        indptr, arc_heads, arc_eids, arc_tails, has_parallel = self._structure(graph)
+        weights = np.asarray(weights, dtype=np.float64)
+        if has_parallel or (weights.size and float(weights.min()) <= 0.0):
+            return _LISTS_BACKEND.trees(
+                graph, sources, weights, weights_list=weights_list
+            )
+
+        n = graph.num_vertices
+        arc_w = weights[arc_eids]
+        matrix = csr_matrix((arc_w, arc_heads, indptr), shape=(n, n), copy=False)
+        dist_matrix = csgraph_dijkstra(matrix, directed=True, indices=sources)
+        dist_matrix = np.atleast_2d(dist_matrix)
+
+        results: list[tuple[list[float], list[int], list[int]]] = []
+        for row, source in enumerate(sources):
+            dist = dist_matrix[row]
+            parent_vertex, parent_edge = self._reconstruct_parents(
+                n, arc_tails, arc_heads, arc_eids, arc_w, dist, source
+            )
+            if parent_vertex is None:
+                # Bitwise inconsistency (cannot happen under the contract,
+                # but never emit a tree we cannot prove identical).
+                results.append(
+                    _LISTS_BACKEND.trees(
+                        graph, [source], weights, weights_list=weights_list
+                    )[0]
+                )
+                continue
+            results.append((dist.tolist(), parent_vertex, parent_edge))
+        return results
+
+    @staticmethod
+    def _reconstruct_parents(
+        n: int,
+        arc_tails: np.ndarray,
+        arc_heads: np.ndarray,
+        arc_eids: np.ndarray,
+        arc_w: np.ndarray,
+        dist: np.ndarray,
+        source: int,
+    ) -> tuple[list[int], list[int]] | tuple[None, None]:
+        """Parents under the lists kernel's tie-breaking, from distances.
+
+        The kernel's final parent of ``v`` is the first relaxation — tails
+        in settle order, arcs in CSR order within a tail — that attains the
+        final ``dist[v]`` exactly.  With strictly positive weights every
+        attaining tail has strictly smaller distance, so settle order among
+        candidates is the ``(dist, vertex)`` lexicographic order and the
+        winner is the candidate arc minimizing ``(settle_rank[tail],
+        csr_position)``.
+        """
+        finite_tail = np.isfinite(dist[arc_tails])
+        sums = dist[arc_tails] + arc_w
+        candidate = finite_tail & (sums == dist[arc_heads])
+
+        parent_vertex = np.full(n, -1, dtype=np.int64)
+        parent_edge = np.full(n, -1, dtype=np.int64)
+
+        cidx = np.nonzero(candidate)[0]
+        if cidx.size:
+            # Settle rank: vertices sorted by (dist, vertex id).
+            rank = np.empty(n, dtype=np.int64)
+            rank[np.lexsort((np.arange(n), dist))] = np.arange(n)
+            heads_c = arc_heads[cidx].astype(np.int64)
+            order = np.lexsort((cidx, rank[arc_tails[cidx]], heads_c))
+            sorted_heads = heads_c[order]
+            first = np.ones(order.size, dtype=bool)
+            first[1:] = sorted_heads[1:] != sorted_heads[:-1]
+            winners = cidx[order[first]]
+            win_heads = arc_heads[winners].astype(np.int64)
+            parent_vertex[win_heads] = arc_tails[winners]
+            parent_edge[win_heads] = arc_eids[winners]
+
+        # Every finite, non-source vertex must have found a parent.
+        reachable = np.isfinite(dist)
+        reachable[source] = False
+        if np.any(reachable & (parent_edge < 0)):  # pragma: no cover - guard
+            return None, None
+        return parent_vertex.tolist(), parent_edge.tolist()
+
+
+_LISTS_BACKEND = ListsBackend()
+_BACKENDS: dict[str, type] = {"lists": ListsBackend, "scipy": ScipyBackend}
+_active_backend = None
+
+
+def available_backends() -> list[str]:
+    """Registered backend names (``"scipy"`` listed even if scipy is absent;
+    selecting it then raises)."""
+    return sorted(_BACKENDS)
+
+
+def get_backend():
+    """The active backend instance (resolving ``REPRO_SP_BACKEND`` on first
+    use; unknown or unavailable values warn and fall back to ``"lists"``)."""
+    global _active_backend
+    if _active_backend is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "lists").strip() or "lists"
+        try:
+            set_backend(name)
+        except (KeyError, ImportError) as exc:
+            warnings.warn(
+                f"{BACKEND_ENV_VAR}={name!r} unavailable ({exc}); using 'lists'",
+                stacklevel=2,
+            )
+            _active_backend = _LISTS_BACKEND
+    return _active_backend
+
+
+def set_backend(name: str):
+    """Select the process-global shortest-path backend by name.
+
+    Returns the backend instance.  Raises ``KeyError`` for unknown names and
+    ``ImportError`` when the scipy backend is requested without scipy.
+    """
+    global _active_backend
+    key = str(name).strip().lower()
+    if key not in _BACKENDS:
+        raise KeyError(
+            f"unknown shortest-path backend {name!r}; available: {available_backends()}"
+        )
+    _active_backend = _LISTS_BACKEND if key == "lists" else _BACKENDS[key]()
+    return _active_backend
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager form of :func:`set_backend` (restores the previous
+    backend on exit) — the parity tests' workhorse."""
+    global _active_backend
+    previous = get_backend()
+    set_backend(name)
+    try:
+        yield _active_backend
+    finally:
+        _active_backend = previous
+
+
 def single_source_dijkstra(
     graph: CapacitatedGraph,
     source: int,
@@ -202,8 +468,10 @@ def single_source_dijkstra(
     Notes
     -----
     The output is bit-for-bit identical to :func:`reference_dijkstra` —
-    same distances, same parents, same extracted paths — the implementations
-    differ only in the data layout of the hot loop.
+    same distances, same parents, same extracted paths — whichever backend
+    is active (the scipy backend replays the lists kernel's tie-breaking).
+    The ``targets`` early exit is a lists-kernel-only optimization, so
+    passing ``targets`` always uses the lists kernel.
     """
     n = graph.num_vertices
     source = int(source)
@@ -211,11 +479,16 @@ def single_source_dijkstra(
         raise ValueError(f"source {source} out of range")
     weights = _validate_weights(graph, weights)
 
-    indptr, adj_heads, adj_edge_ids = graph.csr_lists()
-    remaining = set(int(t) for t in targets) if targets is not None else None
-    dist, parent_vertex, parent_edge = dijkstra_lists(
-        n, indptr, adj_heads, adj_edge_ids, weights.tolist(), source, remaining
-    )
+    if targets is not None:
+        indptr, adj_heads, adj_edge_ids = graph.csr_lists()
+        remaining = set(int(t) for t in targets)
+        dist, parent_vertex, parent_edge = dijkstra_lists(
+            n, indptr, adj_heads, adj_edge_ids, weights.tolist(), source, remaining
+        )
+    else:
+        dist, parent_vertex, parent_edge = get_backend().trees(
+            graph, [source], weights
+        )[0]
 
     return ShortestPathResult(
         source=source,
@@ -223,6 +496,36 @@ def single_source_dijkstra(
         parent_vertex=np.asarray(parent_vertex, dtype=np.int64),
         parent_edge=np.asarray(parent_edge, dtype=np.int64),
     )
+
+
+def multi_source_dijkstra(
+    graph: CapacitatedGraph,
+    sources,
+    weights: np.ndarray,
+) -> list[ShortestPathResult]:
+    """Full shortest-path trees for several sources in one backend call.
+
+    Under the scipy backend all distance computations happen in a single
+    vectorized ``csgraph.dijkstra`` call; under the lists backend this is an
+    ordinary loop.  Each returned tree is bit-identical to the corresponding
+    :func:`single_source_dijkstra` result.
+    """
+    n = graph.num_vertices
+    sources = [int(s) for s in sources]
+    for s in sources:
+        if not 0 <= s < n:
+            raise ValueError(f"source {s} out of range")
+    weights = _validate_weights(graph, weights)
+    trees = get_backend().trees(graph, sources, weights) if sources else []
+    return [
+        ShortestPathResult(
+            source=s,
+            distances=np.asarray(dist, dtype=np.float64),
+            parent_vertex=np.asarray(pv, dtype=np.int64),
+            parent_edge=np.asarray(pe, dtype=np.int64),
+        )
+        for s, (dist, pv, pe) in zip(sources, trees)
+    ]
 
 
 def reference_dijkstra(

@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import parallel
 from repro.auctions.allocation import MUCAAllocation
 from repro.auctions.instance import MUCAInstance
 from repro.exceptions import MechanismError
@@ -157,6 +158,18 @@ def critical_value_muca(
     )
 
 
+def _ufp_payment_task(idx: int) -> float:
+    """One winner's critical value, with the shared state read from the
+    :mod:`repro.parallel` worker payload (shipped once per worker)."""
+    algorithm, instance, kwargs = parallel.worker_payload()
+    return critical_value_ufp(algorithm, instance, idx, **kwargs)
+
+
+def _muca_payment_task(idx: int) -> float:
+    algorithm, instance, kwargs = parallel.worker_payload()
+    return critical_value_muca(algorithm, instance, idx, **kwargs)
+
+
 def compute_ufp_payments(
     algorithm: UFPAlgorithm,
     instance: UFPInstance,
@@ -166,6 +179,7 @@ def compute_ufp_payments(
     relative_tolerance: float = 1e-6,
     absolute_tolerance: float = 1e-9,
     verify_winners: bool = False,
+    jobs: int | None = None,
 ) -> np.ndarray:
     """Critical-value payments for every request (losers pay zero).
 
@@ -190,23 +204,34 @@ def compute_ufp_payments(
         ``algorithm`` call each), restoring the loud
         :class:`~repro.exceptions.MechanismError` on an algorithm/allocation
         mismatch at the cost of the saved run.
+    jobs:
+        Worker processes for the per-winner bisections (``None`` → the
+        ``REPRO_JOBS`` environment default → serial).  Every winner's
+        bisection is an independent deterministic function of ``(algorithm,
+        instance, winner)``, so fan-out changes wall-clock only: the payment
+        vector is byte-identical at any ``jobs``.  The instance and
+        algorithm ship once per worker (inherited copy-on-write under
+        ``fork``, together with the warm per-graph tree memo), not once per
+        winner.
     """
     payments = np.zeros(instance.num_requests, dtype=np.float64)
     winner_set = allocation.selected_indices()
     targets = winner_set if winners is None else (set(int(w) for w in winners) & winner_set)
-    for idx in sorted(targets):
-        # ``idx`` is a winner of the allocation this same (deterministic)
-        # algorithm produced, so it is selected at its declared value by
-        # construction — skip the confirming re-run unless the caller asked
-        # for the guard back.
-        payments[idx] = critical_value_ufp(
-            algorithm,
-            instance,
-            idx,
-            relative_tolerance=relative_tolerance,
-            absolute_tolerance=absolute_tolerance,
-            assume_selected=not verify_winners,
-        )
+    ordered = sorted(targets)
+    # Each ``idx`` is a winner of the allocation this same (deterministic)
+    # algorithm produced, so it is selected at its declared value by
+    # construction — skip the confirming re-run unless the caller asked
+    # for the guard back.
+    kwargs = dict(
+        relative_tolerance=relative_tolerance,
+        absolute_tolerance=absolute_tolerance,
+        assume_selected=not verify_winners,
+    )
+    values = parallel.pmap(
+        _ufp_payment_task, ordered, jobs=jobs, payload=(algorithm, instance, kwargs)
+    )
+    for idx, value in zip(ordered, values):
+        payments[idx] = value
     return payments
 
 
@@ -219,23 +244,26 @@ def compute_muca_payments(
     relative_tolerance: float = 1e-6,
     absolute_tolerance: float = 1e-9,
     verify_winners: bool = False,
+    jobs: int | None = None,
 ) -> np.ndarray:
     """Critical-value payments for every bid (losers pay zero).
 
     ``algorithm`` must be the deterministic callable that produced
     ``allocation``; see :func:`compute_ufp_payments` for the
-    ``verify_winners`` escape hatch.
+    ``verify_winners`` escape hatch and the ``jobs`` fan-out contract.
     """
     payments = np.zeros(instance.num_bids, dtype=np.float64)
     winner_set = set(allocation.winners)
     targets = winner_set if winners is None else (set(int(w) for w in winners) & winner_set)
-    for idx in sorted(targets):
-        payments[idx] = critical_value_muca(
-            algorithm,
-            instance,
-            idx,
-            relative_tolerance=relative_tolerance,
-            absolute_tolerance=absolute_tolerance,
-            assume_selected=not verify_winners,
-        )
+    ordered = sorted(targets)
+    kwargs = dict(
+        relative_tolerance=relative_tolerance,
+        absolute_tolerance=absolute_tolerance,
+        assume_selected=not verify_winners,
+    )
+    values = parallel.pmap(
+        _muca_payment_task, ordered, jobs=jobs, payload=(algorithm, instance, kwargs)
+    )
+    for idx, value in zip(ordered, values):
+        payments[idx] = value
     return payments

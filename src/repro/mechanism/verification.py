@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import parallel
 from repro.auctions.allocation import MUCAAllocation
 from repro.auctions.instance import MUCAInstance
 from repro.exceptions import MechanismError
@@ -89,6 +90,64 @@ def _ufp_outcome(
     return True, payment
 
 
+def _audit_ufp_agent(task: tuple[int, list[tuple[float, float]]]):
+    """Audit one agent: evaluate the truthful outcome plus every misreport.
+
+    The per-agent random ``(demand, value)`` draws arrive pre-derived in the
+    task (drawn in agent order from the audit's single RNG stream *before*
+    the fan-out), so the expensive mechanism evaluations are a pure function
+    of the task — the fan-out contract of :func:`repro.parallel.pmap` — and
+    the report is bit-identical at any ``jobs``.
+    """
+    idx, random_misreports = task
+    algorithm, instance, misreport_grid, tolerance = parallel.worker_payload()
+    true_request = instance.requests[idx]
+    agent = UFPAgent.truthful(true_request)
+    truthful_selected, truthful_payment = _ufp_outcome(algorithm, instance, idx)
+    truthful_utility = agent.utility(truthful_selected, truthful_payment)
+    if truthful_utility < -tolerance:
+        raise MechanismError(
+            f"truth-telling yields negative utility {truthful_utility:.4g} for agent "
+            f"{idx}; the payment rule is not individually rational"
+        )
+
+    misreports: list[tuple[float, float]] = list(random_misreports)
+    for demand_factor, value_factor in misreport_grid or ():
+        misreports.append(
+            (
+                float(np.clip(true_request.demand * demand_factor, 1e-6, 1.0)),
+                float(true_request.value * value_factor),
+            )
+        )
+    # Structured misreports: inflate the value a lot (try to force a win),
+    # and shade the value down towards the payment (try to pay less).
+    misreports.append((true_request.demand, true_request.value * 10.0))
+    if truthful_selected and truthful_payment > 0:
+        misreports.append((true_request.demand, truthful_payment * 1.01))
+
+    deviations: list[ProfitableDeviation] = []
+    max_gain = 0.0
+    for demand, value in misreports:
+        lie = true_request.with_type(demand=demand, value=value)
+        lie_instance = instance.replace_request(idx, lie)
+        lie_agent = UFPAgent(true_request=true_request, declared_request=lie)
+        lie_selected, lie_payment = _ufp_outcome(algorithm, lie_instance, idx)
+        lie_utility = lie_agent.utility(lie_selected, lie_payment)
+        gain = lie_utility - truthful_utility
+        max_gain = max(max_gain, gain)
+        if gain > tolerance:
+            deviations.append(
+                ProfitableDeviation(
+                    agent_index=idx,
+                    true_type=(true_request.demand, true_request.value),
+                    misreported_type=(demand, value),
+                    truthful_utility=truthful_utility,
+                    deviating_utility=lie_utility,
+                )
+            )
+    return len(misreports), deviations, max_gain
+
+
 def audit_ufp_truthfulness(
     algorithm: Callable[[UFPInstance], Allocation],
     instance: UFPInstance,
@@ -98,6 +157,7 @@ def audit_ufp_truthfulness(
     misreport_grid: Sequence[tuple[float, float]] | None = None,
     tolerance: float = 1e-4,
     seed: int | np.random.Generator | None = None,
+    jobs: int | None = None,
 ) -> TruthfulnessReport:
     """Audit the mechanism induced by ``algorithm`` + critical-value payments.
 
@@ -123,62 +183,43 @@ def audit_ufp_truthfulness(
     tolerance:
         Utility gains below this threshold are attributed to the payment
         bisection tolerance and not reported.
+    jobs:
+        Worker processes for the per-agent audits (``None`` → the
+        ``REPRO_JOBS`` environment default → serial).  The random draws
+        happen up front in agent order from the single RNG stream, so the
+        report is bit-identical at any ``jobs``.
     """
     rng = ensure_rng(seed)
     indices = list(range(instance.num_requests)) if agents is None else [int(a) for a in agents]
     report = TruthfulnessReport()
 
+    # Pre-derive every agent's random misreports in agent order — the RNG
+    # consumption is exactly that of the historical sequential loop (the
+    # evaluations in between never touched the stream), and the expensive
+    # per-agent evaluations become independent tasks.
+    tasks: list[tuple[int, list[tuple[float, float]]]] = []
     for idx in indices:
         true_request = instance.requests[idx]
-        agent = UFPAgent.truthful(true_request)
-        truthful_selected, truthful_payment = _ufp_outcome(algorithm, instance, idx)
-        truthful_utility = agent.utility(truthful_selected, truthful_payment)
-        if truthful_utility < -tolerance:
-            raise MechanismError(
-                f"truth-telling yields negative utility {truthful_utility:.4g} for agent "
-                f"{idx}; the payment rule is not individually rational"
-            )
-        report.agents_audited += 1
-
-        misreports: list[tuple[float, float]] = []
+        draws: list[tuple[float, float]] = []
         for _ in range(int(misreports_per_agent)):
             demand = float(
                 np.clip(true_request.demand * rng.uniform(0.3, 1.5), 1e-6, 1.0)
             )
             value = float(true_request.value * rng.uniform(0.3, 3.0))
-            misreports.append((demand, value))
-        for demand_factor, value_factor in misreport_grid or ():
-            misreports.append(
-                (
-                    float(np.clip(true_request.demand * demand_factor, 1e-6, 1.0)),
-                    float(true_request.value * value_factor),
-                )
-            )
-        # Structured misreports: inflate the value a lot (try to force a win),
-        # and shade the value down towards the payment (try to pay less).
-        misreports.append((true_request.demand, true_request.value * 10.0))
-        if truthful_selected and truthful_payment > 0:
-            misreports.append((true_request.demand, truthful_payment * 1.01))
+            draws.append((demand, value))
+        tasks.append((idx, draws))
 
-        for demand, value in misreports:
-            lie = true_request.with_type(demand=demand, value=value)
-            lie_instance = instance.replace_request(idx, lie)
-            lie_agent = UFPAgent(true_request=true_request, declared_request=lie)
-            lie_selected, lie_payment = _ufp_outcome(algorithm, lie_instance, idx)
-            lie_utility = lie_agent.utility(lie_selected, lie_payment)
-            report.misreports_tried += 1
-            gain = lie_utility - truthful_utility
-            report.max_gain = max(report.max_gain, gain)
-            if gain > tolerance:
-                report.profitable_deviations.append(
-                    ProfitableDeviation(
-                        agent_index=idx,
-                        true_type=(true_request.demand, true_request.value),
-                        misreported_type=(demand, value),
-                        truthful_utility=truthful_utility,
-                        deviating_utility=lie_utility,
-                    )
-                )
+    outcomes = parallel.pmap(
+        _audit_ufp_agent,
+        tasks,
+        jobs=jobs,
+        payload=(algorithm, instance, misreport_grid, tolerance),
+    )
+    for tried, deviations, max_gain in outcomes:
+        report.agents_audited += 1
+        report.misreports_tried += tried
+        report.profitable_deviations.extend(deviations)
+        report.max_gain = max(report.max_gain, max_gain)
     return report
 
 
@@ -194,6 +235,49 @@ def _muca_outcome(
     return True, payment
 
 
+def _audit_muca_agent(task: tuple[int, list[float]]):
+    """Audit one bid; the MUCA analogue of :func:`_audit_ufp_agent`."""
+    idx, random_values = task
+    algorithm, instance, value_grid, tolerance = parallel.worker_payload()
+    true_bid = instance.bids[idx]
+    agent = MUCAAgent.truthful(true_bid)
+    truthful_selected, truthful_payment = _muca_outcome(algorithm, instance, idx)
+    truthful_utility = agent.utility(truthful_selected, truthful_payment)
+    if truthful_utility < -tolerance:
+        raise MechanismError(
+            f"truth-telling yields negative utility for bid {idx}; the payment "
+            "rule is not individually rational"
+        )
+
+    values = list(random_values)
+    values.extend(float(true_bid.value * factor) for factor in value_grid or ())
+    values.append(true_bid.value * 10.0)
+    if truthful_selected and truthful_payment > 0:
+        values.append(truthful_payment * 1.01)
+
+    deviations: list[ProfitableDeviation] = []
+    max_gain = 0.0
+    for value in values:
+        lie = true_bid.with_value(value)
+        lie_instance = instance.replace_bid(idx, lie)
+        lie_agent = MUCAAgent(true_bid=true_bid, declared_bid=lie)
+        lie_selected, lie_payment = _muca_outcome(algorithm, lie_instance, idx)
+        lie_utility = lie_agent.utility(lie_selected, lie_payment)
+        gain = lie_utility - truthful_utility
+        max_gain = max(max_gain, gain)
+        if gain > tolerance:
+            deviations.append(
+                ProfitableDeviation(
+                    agent_index=idx,
+                    true_type=(true_bid.value,),
+                    misreported_type=(value,),
+                    truthful_utility=truthful_utility,
+                    deviating_utility=lie_utility,
+                )
+            )
+    return len(values), deviations, max_gain
+
+
 def audit_muca_truthfulness(
     algorithm: Callable[[MUCAInstance], MUCAAllocation],
     instance: MUCAInstance,
@@ -203,51 +287,36 @@ def audit_muca_truthfulness(
     value_grid: Sequence[float] | None = None,
     tolerance: float = 1e-4,
     seed: int | np.random.Generator | None = None,
+    jobs: int | None = None,
 ) -> TruthfulnessReport:
     """Value-misreport audit of the auction mechanism (known single-minded).
 
     ``value_grid`` optionally adds deterministic value *multipliers* tried
     for every audited bid on top of the random draws (the MUCA analogue of
-    :func:`audit_ufp_truthfulness`'s ``misreport_grid``)."""
+    :func:`audit_ufp_truthfulness`'s ``misreport_grid``); ``jobs`` fans the
+    per-bid audits out with the same bit-identical contract."""
     rng = ensure_rng(seed)
     indices = list(range(instance.num_bids)) if agents is None else [int(a) for a in agents]
     report = TruthfulnessReport()
 
+    tasks: list[tuple[int, list[float]]] = []
     for idx in indices:
         true_bid = instance.bids[idx]
-        agent = MUCAAgent.truthful(true_bid)
-        truthful_selected, truthful_payment = _muca_outcome(algorithm, instance, idx)
-        truthful_utility = agent.utility(truthful_selected, truthful_payment)
-        if truthful_utility < -tolerance:
-            raise MechanismError(
-                f"truth-telling yields negative utility for bid {idx}; the payment "
-                "rule is not individually rational"
-            )
+        draws = [
+            float(true_bid.value * rng.uniform(0.3, 3.0))
+            for _ in range(int(misreports_per_agent))
+        ]
+        tasks.append((idx, draws))
+
+    outcomes = parallel.pmap(
+        _audit_muca_agent,
+        tasks,
+        jobs=jobs,
+        payload=(algorithm, instance, value_grid, tolerance),
+    )
+    for tried, deviations, max_gain in outcomes:
         report.agents_audited += 1
-
-        values = [float(true_bid.value * rng.uniform(0.3, 3.0)) for _ in range(int(misreports_per_agent))]
-        values.extend(float(true_bid.value * factor) for factor in value_grid or ())
-        values.append(true_bid.value * 10.0)
-        if truthful_selected and truthful_payment > 0:
-            values.append(truthful_payment * 1.01)
-
-        for value in values:
-            lie = true_bid.with_value(value)
-            lie_instance = instance.replace_bid(idx, lie)
-            lie_agent = MUCAAgent(true_bid=true_bid, declared_bid=lie)
-            lie_selected, lie_payment = _muca_outcome(algorithm, lie_instance, idx)
-            lie_utility = lie_agent.utility(lie_selected, lie_payment)
-            report.misreports_tried += 1
-            gain = lie_utility - truthful_utility
-            report.max_gain = max(report.max_gain, gain)
-            if gain > tolerance:
-                report.profitable_deviations.append(
-                    ProfitableDeviation(
-                        agent_index=idx,
-                        true_type=(true_bid.value,),
-                        misreported_type=(value,),
-                        truthful_utility=truthful_utility,
-                        deviating_utility=lie_utility,
-                    )
-                )
+        report.misreports_tried += tried
+        report.profitable_deviations.extend(deviations)
+        report.max_gain = max(report.max_gain, max_gain)
     return report

@@ -52,8 +52,10 @@ def batch_critical_values(
         tree memo).
     snapshot:
         The dual state at the batch's start (as captured by
-        ``DualWeights.copy()``); never mutated here — every replay works on
-        its own copy.
+        ``DualWeights.copy()``); never mutated here — every replay restores
+        one shared scratch state from it in place
+        (:meth:`DualWeights.restore_from`), avoiding a weight-vector
+        allocation per bisection probe.
     pool:
         The batch's decision pool: ``(global_index, request)`` pairs in
         ascending global-index order, so local replay order reproduces the
@@ -78,10 +80,16 @@ def batch_critical_values(
     requests = [request for _, request in pool]
     local_of = {index: position for position, index in enumerate(global_indices)}
 
+    # One scratch dual state reused across every probe of every winner:
+    # each probe restores it to the snapshot in place (np.copyto into the
+    # existing buffer) instead of allocating a fresh weight copy.
+    scratch = snapshot.copy()
+
     def admits(local_index: int, value: float) -> bool:
         probe_requests = list(requests)
         probe_requests[local_index] = probe_requests[local_index].with_value(value)
-        duals = snapshot.copy()
+        duals = scratch
+        duals.restore_from(snapshot)
         engine = PathPricingEngine(
             graph,
             probe_requests,

@@ -1,0 +1,139 @@
+"""Backend parity: the scipy shortest-path backend vs the lists kernel.
+
+The contract of :mod:`repro.graphs.shortest_path`'s backend registry is that
+the ``"scipy"`` backend is **bit-identical** to the default ``"lists"``
+kernel — distances, parents, and therefore every allocation downstream.
+This suite replays the differential-fuzz corpus (the same pinned-seed
+instance distribution as ``test_differential_fuzz``) once per backend and
+compares the two runs exactly.  Instances are rebuilt from the seed for each
+backend so the per-graph tree memo of one run cannot mask divergence in the
+other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+pytest.importorskip("scipy", reason="the scipy backend needs scipy")
+
+from test_differential_fuzz import (  # noqa: E402  (corpus shared with the fuzz suite)
+    DIJKSTRA_SEEDS,
+    MUCA_SEEDS,
+    ONLINE_SEEDS,
+    REPEAT_SEEDS,
+    UFP_SEEDS,
+    _assert_same_allocation,
+    _ufp_instance,
+)
+
+from repro.auctions import correlated_auction, random_auction  # noqa: E402
+from repro.core import bounded_muca, bounded_ufp, bounded_ufp_repeat  # noqa: E402
+from repro.graphs.generators import random_digraph, random_graph  # noqa: E402
+from repro.graphs.shortest_path import (  # noqa: E402
+    multi_source_dijkstra,
+    single_source_dijkstra,
+    use_backend,
+)
+from repro.online import Batch, OnlineAuction  # noqa: E402
+from repro.utils.prng import ensure_rng  # noqa: E402
+
+pytestmark = pytest.mark.fuzz
+
+
+def _run_both(make_instance, solve):
+    """Run ``solve`` on freshly-built instances under each backend."""
+    with use_backend("lists"):
+        expected = solve(make_instance())
+    with use_backend("scipy"):
+        actual = solve(make_instance())
+    return actual, expected
+
+
+@pytest.mark.parametrize("seed", UFP_SEEDS)
+def test_bounded_ufp_backend_parity(seed):
+    epsilon = [0.3, 0.5, 1.0][seed % 3]
+    actual, expected = _run_both(
+        lambda: _ufp_instance(seed), lambda inst: bounded_ufp(inst, epsilon)
+    )
+    _assert_same_allocation(actual, expected)
+
+
+@pytest.mark.parametrize("seed", REPEAT_SEEDS)
+def test_bounded_ufp_repeat_backend_parity(seed):
+    epsilon = [0.5, 1.0][seed % 2]
+    actual, expected = _run_both(
+        lambda: _ufp_instance(seed, max_requests=10),
+        lambda inst: bounded_ufp_repeat(inst, epsilon),
+    )
+    _assert_same_allocation(actual, expected)
+
+
+def _muca_auction(seed):
+    rng = ensure_rng(seed)
+    num_items = int(rng.integers(4, 16))
+    if seed % 2:
+        return random_auction(
+            num_items=num_items,
+            num_bids=int(rng.integers(3, 40)),
+            multiplicity=float(rng.uniform(4.0, 20.0)),
+            bundle_size_range=(1, min(4, num_items)),
+            seed=rng,
+        )
+    return correlated_auction(
+        num_items=num_items,
+        num_bids=int(rng.integers(3, 40)),
+        multiplicity=float(rng.uniform(4.0, 20.0)),
+        num_popular=min(3, num_items),
+        bundle_size_range=(1, min(4, num_items)),
+        seed=rng,
+    )
+
+
+@pytest.mark.parametrize("seed", MUCA_SEEDS)
+def test_bounded_muca_backend_parity(seed):
+    # MUCA never touches the graph backend (bundle sums, not paths), so this
+    # guards that flipping the backend cannot perturb the auction either.
+    epsilon = [0.3, 0.5, 1.0][seed % 3]
+    actual, expected = _run_both(
+        lambda: _muca_auction(seed), lambda auction: bounded_muca(auction, epsilon)
+    )
+    assert actual.winners == expected.winners
+    assert actual.value == expected.value
+
+
+@pytest.mark.parametrize("seed", DIJKSTRA_SEEDS)
+def test_dijkstra_backend_parity(seed):
+    rng = ensure_rng(seed)
+    num_vertices = int(rng.integers(4, 20))
+    build = random_digraph if seed % 2 else random_graph
+    graph = build(
+        num_vertices,
+        float(rng.uniform(0.1, 0.6)),
+        (0.5, 5.0),
+        seed=rng,
+        ensure_connected=bool(rng.integers(0, 2)),
+    )
+    weights = rng.uniform(1e-6, 10.0, size=graph.num_edges)
+    source = int(rng.integers(0, num_vertices))
+    with use_backend("lists"):
+        expected = single_source_dijkstra(graph, source, weights)
+    with use_backend("scipy"):
+        actual = single_source_dijkstra(graph, source, weights)
+        batch = multi_source_dijkstra(graph, range(num_vertices), weights)
+    for result in [actual, batch[source]]:
+        np.testing.assert_array_equal(result.distances, expected.distances)
+        np.testing.assert_array_equal(result.parent_vertex, expected.parent_vertex)
+        np.testing.assert_array_equal(result.parent_edge, expected.parent_edge)
+
+
+@pytest.mark.parametrize("seed", ONLINE_SEEDS)
+def test_online_stream_backend_parity(seed):
+    epsilon = [0.3, 0.5, 1.0][seed % 3]
+
+    def solve(instance):
+        auction = OnlineAuction(instance.graph, epsilon)
+        return auction.run(iter([Batch(time=0.0, requests=instance.requests)]))
+
+    actual, expected = _run_both(lambda: _ufp_instance(seed), solve)
+    _assert_same_allocation(actual, expected)

@@ -1,0 +1,75 @@
+"""Unit tests of the benchmark regression gate (``benchmarks/compare_bench.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_GATE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _GATE_PATH)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def test_within_threshold_passes():
+    regressions, notes = compare_bench.compare(
+        {"a": 1.1, "b": 0.9}, {"a": 1.0, "b": 1.0}, threshold=1.2
+    )
+    assert regressions == []
+    assert len(notes) == 2
+
+
+def test_regression_detected():
+    regressions, _ = compare_bench.compare({"a": 1.5}, {"a": 1.0}, threshold=1.2)
+    assert len(regressions) == 1
+    assert "REGRESSED" in regressions[0]
+
+
+def test_missing_benchmark_is_a_regression():
+    regressions, _ = compare_bench.compare({}, {"a": 1.0}, threshold=1.2)
+    assert len(regressions) == 1
+    assert "MISSING" in regressions[0]
+
+
+def test_new_benchmark_is_noted_not_failed():
+    regressions, notes = compare_bench.compare({"new": 1.0}, {}, threshold=1.2)
+    assert regressions == []
+    assert any("new" in line for line in notes)
+
+
+def test_normalize_cancels_uniform_machine_shift():
+    baseline = {"a": 0.1, "b": 0.01, "c": 0.3}
+    slower_machine = {name: mean * 1.8 for name, mean in baseline.items()}
+    regressions, _ = compare_bench.compare(
+        slower_machine, baseline, threshold=1.2, normalize=True
+    )
+    assert regressions == []
+
+
+def test_normalize_still_catches_single_regression():
+    baseline = {"a": 0.1, "b": 0.01, "c": 0.3, "d": 0.2}
+    # Everything 1.5x slower (new machine) AND one benchmark regressed 3x.
+    current = {name: mean * 1.5 for name, mean in baseline.items()}
+    current["b"] *= 3.0
+    regressions, _ = compare_bench.compare(
+        current, baseline, threshold=1.2, normalize=True
+    )
+    assert len(regressions) == 1
+    assert "b" in regressions[0]
+
+
+def test_main_against_committed_baseline(tmp_path, capsys):
+    """End to end: the committed baseline compared against itself passes, and
+    a doubled copy fails."""
+    baseline = _GATE_PATH.parent / "BENCH_PR3.json"
+    assert baseline.exists(), "committed BENCH_PR3.json baseline missing"
+    assert compare_bench.main([str(baseline), str(baseline)]) == 0
+
+    doubled = json.loads(baseline.read_text())
+    for bench in doubled["benchmarks"]:
+        bench["stats"]["mean"] *= 2.0
+    slow = tmp_path / "slow.json"
+    slow.write_text(json.dumps(doubled))
+    assert compare_bench.main([str(slow), str(baseline)]) == 1
+    capsys.readouterr()

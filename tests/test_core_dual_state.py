@@ -94,6 +94,39 @@ class TestUpdates:
         with pytest.raises(ValueError):
             duals.weights[0] = 3.0
 
+    def test_restore_from_equals_fresh_copy_probe_by_probe(self):
+        """The copy-light bisection pattern: one scratch state restored per
+        probe must be indistinguishable from a fresh ``snapshot.copy()`` —
+        weights bit-for-bit, incremental budget and update counter included —
+        no matter what the previous probe did to the scratch."""
+        snapshot = DualWeights(np.array([2.0, 3.0, 5.0]), 0.4)
+        snapshot.apply_selection(np.array([0, 2]), 0.7, assume_unique=True)
+        scratch = snapshot.copy()
+        probes = [([0], 0.3), ([1, 2], 0.9), ([0, 1, 2], 0.5)]
+        for edge_ids, demand in probes:
+            scratch.restore_from(snapshot)
+            fresh = snapshot.copy()
+            assert scratch.weights.tobytes() == fresh.weights.tobytes()
+            assert scratch.budget == fresh.budget
+            assert scratch.num_updates == fresh.num_updates
+            # Diverge the scratch; identical updates must land identically.
+            scratch.apply_selection(np.array(edge_ids), demand, assume_unique=True)
+            fresh.apply_selection(np.array(edge_ids), demand, assume_unique=True)
+            assert scratch.weights.tobytes() == fresh.weights.tobytes()
+            assert scratch.budget == fresh.budget
+        # The snapshot itself was never perturbed by any restore/update.
+        assert snapshot.num_updates == 1
+        assert snapshot.budget == pytest.approx(snapshot.recompute_budget(), rel=1e-12)
+
+    def test_restore_from_rejects_mismatched_substrate(self):
+        a = DualWeights(np.array([2.0, 3.0]), 0.4)
+        b = DualWeights(np.array([2.0, 3.0, 4.0]), 0.4)
+        with pytest.raises(ValueError):
+            a.restore_from(b)
+        c = DualWeights(np.array([2.0, 4.0]), 0.4)
+        with pytest.raises(ValueError):
+            a.restore_from(c)
+
 
 @settings(max_examples=40, deadline=None)
 @given(
