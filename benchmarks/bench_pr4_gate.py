@@ -1,0 +1,127 @@
+"""The perf-regression gate benchmarks (PR 4).
+
+The four PR 3 headline timings (payments on the medium instance, one
+``Bounded-UFP`` medium solve, one E9 scaling cell, one E10 online batch
+stream) plus the two trace-replay rows this PR commits to:
+
+* ``payments_replay_medium`` — critical-value payments for every winner of
+  the *contended* medium instance with tracing on.  The committed baseline
+  encodes the ≥5x ISSUE-4 speedup over the from-scratch path; a regression
+  here means the suffix-resume machinery stopped paying for itself.
+* ``e4_audit_cell`` — the E4 truthfulness audit cell through the traced
+  audit path.
+
+Recorded to ``BENCH_PR4.json`` in CI and compared against the committed
+baseline ``benchmarks/BENCH_PR4.json`` by ``benchmarks/compare_bench.py``,
+which fails the build on a >20% normalized mean-time regression.
+Regenerate the baseline (on the reference machine) with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pr4_gate.py -q \
+        --benchmark-json=benchmarks/BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core import bounded_ufp
+from repro.experiments import run_experiment
+from repro.flows import random_instance
+from repro.mechanism import compute_ufp_payments
+from repro.online import OnlineAuction, bursty_arrivals
+
+
+@pytest.fixture(scope="module")
+def medium_instance():
+    # Mirrors bench_micro_primitives.medium_instance.
+    return random_instance(
+        num_vertices=20, edge_probability=0.2, capacity=50.0,
+        num_requests=80, demand_range=(0.3, 1.0), seed=13,
+    )
+
+
+@pytest.fixture(scope="module")
+def contended_medium_instance():
+    # Mirrors bench_trace_replay.contended_instance: the budget rule fires
+    # mid-run, so every winner pays a positive critical value.
+    return random_instance(
+        num_vertices=12, edge_probability=0.25, capacity=15.0,
+        num_requests=120, demand_range=(0.5, 1.0), seed=13,
+    )
+
+
+def test_gate_payments_medium(benchmark, medium_instance, jobs):
+    """Critical-value payments for every winner of the medium instance."""
+    algorithm = partial(bounded_ufp, epsilon=0.3)
+    allocation = bounded_ufp(medium_instance, 0.3)
+
+    payments = benchmark.pedantic(
+        lambda: compute_ufp_payments(
+            algorithm, medium_instance, allocation, jobs=jobs
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert np.all(payments >= 0.0)
+
+
+def test_gate_payments_replay_medium(benchmark, contended_medium_instance, jobs):
+    """Trace-replay payments on the contended medium instance (PR 4)."""
+    algorithm = partial(bounded_ufp, epsilon=0.3)
+    allocation = bounded_ufp(contended_medium_instance, 0.3)
+
+    payments = benchmark.pedantic(
+        lambda: compute_ufp_payments(
+            algorithm, contended_medium_instance, allocation,
+            jobs=jobs, use_trace=True,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert (payments > 0).sum() == allocation.num_selected
+
+
+def test_gate_e4_audit_cell(benchmark, jobs):
+    """The full E4 experiment (audits through the traced path) (PR 4)."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4", quick=True, seed=7, jobs=jobs),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.all_claims_hold
+
+
+def test_gate_bounded_ufp_medium(benchmark, medium_instance):
+    """One full Bounded-UFP run on the medium instance."""
+    allocation = benchmark(lambda: bounded_ufp(medium_instance, 0.3))
+    assert allocation.is_feasible()
+
+
+def test_gate_e9_cell(benchmark, jobs):
+    """The E9 scaling sweep (quick cells) through the harness fan-out."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E9", quick=True, seed=7, jobs=jobs),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.all_claims_hold
+
+
+def test_gate_e10_online_batch(benchmark):
+    """One bursty stream through the online auction (the E10 hot path)."""
+    instance = random_instance(
+        num_vertices=12, edge_probability=0.2, capacity=12.0,
+        num_requests=150, demand_range=(0.4, 1.0), seed=29,
+    )
+
+    def run():
+        auction = OnlineAuction(instance.graph, 0.5, admission="greedy")
+        return auction.run(
+            bursty_arrivals(list(instance.requests), burst_size=8, seed=4)
+        )
+
+    online = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert online.is_feasible()

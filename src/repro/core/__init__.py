@@ -16,6 +16,10 @@
   invalidation) all three production solvers run on.
 * :mod:`repro.core.reference` — the original eager full-rescoring solver
   loops, kept as differential-testing oracles for the engine.
+* :mod:`repro.core.trace` — the run-trace + checkpoint subsystem: record a
+  solver run's acceptance trace once, then answer single-declaration probe
+  runs (payment bisections, truthfulness audits, online batch payments) by
+  replaying only the suffix past each probe's divergence round.
 * :mod:`repro.core.reasonable` — the *reasonable iterative path/bundle
   minimizing algorithm* framework of Definitions 3.9/3.10 and 4.3/4.4, used
   to reproduce the lower bounds of Theorems 3.11, 3.12 and 4.5.
@@ -35,6 +39,14 @@ from repro.core.reference import (
     reference_bounded_muca,
     reference_bounded_ufp,
     reference_bounded_ufp_repeat,
+)
+from repro.core.trace import (
+    BundleTraceReplayer,
+    ReplayStats,
+    RunTrace,
+    TraceRecorder,
+    TraceReplayer,
+    make_replayer,
 )
 from repro.core.reasonable import (
     BoundedUFPPriority,
@@ -62,6 +74,12 @@ __all__ = [
     "reference_bounded_ufp",
     "reference_bounded_ufp_repeat",
     "reference_bounded_muca",
+    "TraceRecorder",
+    "TraceReplayer",
+    "BundleTraceReplayer",
+    "RunTrace",
+    "ReplayStats",
+    "make_replayer",
     "BoundedUFPPriority",
     "HopBiasedPriority",
     "ProductPriority",

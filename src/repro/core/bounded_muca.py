@@ -58,6 +58,7 @@ def bounded_muca(
     *,
     capacity_check: CapacityCheck = "ignore",
     max_iterations: int | None = None,
+    trace=None,
 ) -> MUCAAllocation:
     """Run ``Bounded-MUCA(epsilon)`` (Algorithm 2) on an auction instance.
 
@@ -102,6 +103,20 @@ def bounded_muca(
     stopped_by_budget = False
     iteration_cap = max_iterations if max_iterations is not None else instance.num_bids
 
+    if trace is not None:
+        trace.begin_bundle_run(
+            engine=engine,
+            duals=duals,
+            epsilon=float(epsilon),
+            iteration_cap=iteration_cap,
+            instance=instance,
+        )
+        hook = lambda idx, score: trace.record_selected_bundle(  # noqa: E731
+            engine, idx, score
+        )
+    else:
+        hook = None
+
     while engine.num_pending and iterations < iteration_cap:
         # Line 3: stopping rule on the dual budget sum_u c_u y_u.
         if not duals.within_budget:
@@ -111,14 +126,19 @@ def bounded_muca(
         # Lines 4-6: select the bid minimizing (1 / v_r) * sum_{u in U_r} y_u,
         # multiply its bundle's item weights by exp(eps B / c_u) (one unit per
         # item) and record the winner.
-        selected = engine.select_and_commit()
+        selected = engine.select_and_commit(pre_commit_hook=hook)
         if selected is None:  # pragma: no cover - pending implies a best
             break
         winners.append(selected[0])
         iterations += 1
+        if trace is not None:
+            trace.record_committed(engine, duals)
 
     if engine.num_pending and not stopped_by_budget and not duals.within_budget:
         stopped_by_budget = True
+
+    if trace is not None:
+        trace.finish(engine, duals, stopped_by_budget=stopped_by_budget)
 
     stats = RunStats(
         iterations=iterations,
@@ -131,6 +151,7 @@ def bounded_muca(
             "epsilon": float(epsilon),
             "capacity_bound": duals.capacity_bound,
             **engine.stats.as_extra(prefix="pricing_bundle_"),
+            **(trace.extra_stats() if trace is not None else {}),
         },
     )
     return MUCAAllocation(

@@ -74,6 +74,7 @@ def bounded_ufp(
     *,
     capacity_check: CapacityCheck = "ignore",
     max_iterations: int | None = None,
+    trace=None,
 ) -> Allocation:
     """Run ``Bounded-UFP(epsilon)`` (Algorithm 1) on ``instance``.
 
@@ -94,6 +95,12 @@ def bounded_ufp(
         :class:`~repro.exceptions.CapacityBoundError`).
     max_iterations:
         Optional hard cap on iterations (the natural bound is ``|R|``).
+    trace:
+        Optional :class:`repro.core.trace.TraceRecorder`: record the
+        acceptance trace and periodic engine/dual checkpoints of this run,
+        so payment bisections and audits can replay single-declaration
+        probes from the divergence round instead of from scratch.  Pure
+        observation — the allocation is unchanged.
 
     Returns
     -------
@@ -149,6 +156,16 @@ def bounded_ufp(
     stopped_by_budget = False
     iteration_cap = max_iterations if max_iterations is not None else instance.num_requests
 
+    if trace is not None:
+        trace.begin_path_run(
+            mode="ufp",
+            engine=engine,
+            duals=duals,
+            epsilon=float(epsilon),
+            iteration_cap=iteration_cap,
+            instance=instance,
+        )
+
     while engine.num_pending and iterations < iteration_cap:
         # Line 5: the stopping rule on the dual budget.
         if not duals.within_budget:
@@ -162,7 +179,11 @@ def bounded_ufp(
 
         # Lines 10-11: exponential weight update along the selected path,
         # record the selection and remove the request from the pool.
+        if trace is not None:
+            trace.record_selected(engine, selection)
         engine.commit(selection)
+        if trace is not None:
+            trace.record_committed(engine, duals)
         routed.append(
             RoutedRequest(
                 request_index=selection.index,
@@ -177,6 +198,9 @@ def bounded_ufp(
     if engine.num_pending and not stopped_by_budget and not duals.within_budget:
         stopped_by_budget = True
 
+    if trace is not None:
+        trace.finish(engine, duals, stopped_by_budget=stopped_by_budget)
+
     stats = RunStats(
         iterations=iterations,
         shortest_path_calls=engine.stats.dijkstra_calls,
@@ -188,6 +212,7 @@ def bounded_ufp(
             "epsilon": float(epsilon),
             "capacity_bound": duals.capacity_bound,
             **engine.stats.as_extra(),
+            **(trace.extra_stats() if trace is not None else {}),
         },
     )
     return Allocation(

@@ -39,6 +39,7 @@ def bounded_ufp_repeat(
     *,
     capacity_check: CapacityCheck = "ignore",
     max_iterations: int | None = None,
+    trace=None,
 ) -> Allocation:
     """Run ``Bounded-UFP-Repeat(epsilon)`` (Algorithm 3) on ``instance``.
 
@@ -107,6 +108,16 @@ def bounded_ufp_repeat(
     iterations = 0
     stopped_by_budget = False
 
+    if trace is not None:
+        trace.begin_path_run(
+            mode="repeat",
+            engine=engine,
+            duals=duals,
+            epsilon=float(epsilon),
+            iteration_cap=max_iterations,
+            instance=instance,
+        )
+
     while engine.num_pending and iterations < max_iterations:
         # Line 3: stopping rule on the dual budget.
         if not duals.within_budget:
@@ -117,7 +128,11 @@ def bounded_ufp_repeat(
         if selection is None:
             break
 
+        if trace is not None:
+            trace.record_selected(engine, selection)
         engine.commit(selection)
+        if trace is not None:
+            trace.record_committed(engine, duals)
         routed.append(
             RoutedRequest(
                 request_index=selection.index,
@@ -132,6 +147,9 @@ def bounded_ufp_repeat(
     if not stopped_by_budget and not duals.within_budget:
         stopped_by_budget = True
 
+    if trace is not None:
+        trace.finish(engine, duals, stopped_by_budget=stopped_by_budget)
+
     stats = RunStats(
         iterations=iterations,
         shortest_path_calls=engine.stats.dijkstra_calls,
@@ -143,6 +161,7 @@ def bounded_ufp_repeat(
             "epsilon": float(epsilon),
             "capacity_bound": duals.capacity_bound,
             **engine.stats.as_extra(),
+            **(trace.extra_stats() if trace is not None else {}),
         },
     )
     return Allocation(

@@ -81,6 +81,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -93,6 +94,8 @@ from repro.graphs.shortest_path import dijkstra_lists, get_backend
 __all__ = [
     "PathPricingEngine",
     "BundlePricingEngine",
+    "PathEngineCheckpoint",
+    "BundleEngineCheckpoint",
     "PricingStats",
     "Selection",
     "TIE_TOLERANCE",
@@ -123,6 +126,63 @@ _INITIAL_TREE_MEMO_KEY = "pricing_engine/tree_memo_initial"
 _TREE_MEMO_BUDGET_BYTES = 64 * 1024 * 1024
 
 
+class _TreeMemoLRU:
+    """Capped LRU for the per-graph mid-run shortest-path-tree memo.
+
+    The memo lives on :attr:`CapacitatedGraph.substrate_cache` and is keyed
+    by exact weight-vector bytes, so on long-lived graphs (fuzz sweeps,
+    payment bisections over thousands of probes, streaming auctions) it
+    would otherwise grow without bound — one entry per distinct weight
+    vector ever priced.  This container keeps entry count under ``cap`` by
+    evicting the least-recently-used entry, which preserves exactly the
+    entries replays keep re-hitting (probe runs revisit recent dual
+    trajectories, not ancient ones).  Shared hit/miss/evict totals live
+    here; per-engine views are surfaced through :class:`PricingStats`.
+    """
+
+    __slots__ = ("cap", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = int(cap)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        tree = self._data.get(key)
+        if tree is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return tree
+
+    def put(self, key, tree) -> bool:
+        """Insert ``key``; returns whether an old entry was evicted."""
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            data[key] = tree
+            return False
+        evicted = False
+        if len(data) >= self.cap:
+            data.popitem(last=False)
+            self.evictions += 1
+            evicted = True
+        data[key] = tree
+        return evicted
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+
 @dataclass
 class PricingStats:
     """Cache / laziness counters of one engine instance.
@@ -130,6 +190,12 @@ class PricingStats:
     ``dijkstra_calls_saved`` compares against the eager reference strategy
     (one tree per live source per iteration): it is the number of trees the
     reference would have computed minus the number actually computed.
+
+    The tree-memo counters view the shared per-graph memo from this
+    engine's perspective: ``warm_start_hits`` counts this engine's memo
+    hits, ``memo_misses`` its misses, and ``memo_evictions`` the LRU
+    evictions this engine's inserts triggered (the memo is capped — see
+    :class:`_TreeMemoLRU`).
     """
 
     dijkstra_calls: int = 0
@@ -139,6 +205,8 @@ class PricingStats:
     repricings: int = 0
     trees_invalidated: int = 0
     eager_equivalent_calls: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
 
     @property
     def dijkstra_calls_saved(self) -> int:
@@ -154,6 +222,8 @@ class PricingStats:
             f"{prefix}repricings": float(self.repricings),
             f"{prefix}trees_invalidated": float(self.trees_invalidated),
             f"{prefix}dijkstra_calls_saved": float(self.dijkstra_calls_saved),
+            f"{prefix}memo_misses": float(self.memo_misses),
+            f"{prefix}memo_evictions": float(self.memo_evictions),
         }
 
 
@@ -290,16 +360,18 @@ class PathPricingEngine:
         # lookups within one iteration share them.
         self._w_list: list[float] | None = None
         self._w_bytes: bytes | None = None
+        entry_bytes = 8 * graph.num_edges + 3 * 40 * self._n + 512
+        self._memo_cap = max(8, min(4096, _TREE_MEMO_BUDGET_BYTES // entry_bytes))
         if share_trees:
-            self._tree_memo = graph.substrate_cache.setdefault(_TREE_MEMO_KEY, {})
+            self._tree_memo = graph.substrate_cache.setdefault(
+                _TREE_MEMO_KEY, _TreeMemoLRU(self._memo_cap)
+            )
             self._initial_tree_memo = graph.substrate_cache.setdefault(
                 _INITIAL_TREE_MEMO_KEY, {}
             )
         else:
             self._tree_memo = None
             self._initial_tree_memo = None
-        entry_bytes = 8 * graph.num_edges + 3 * 40 * self._n + 512
-        self._memo_cap = max(8, min(4096, _TREE_MEMO_BUDGET_BYTES // entry_bytes))
         self._tol = float(tie_tolerance)
         # Refresh everything whose lower bound lies within this band above
         # the freshest minimum; 3x the tolerance covers the worst-case drift
@@ -387,6 +459,8 @@ class PathPricingEngine:
         tree = self._initial_tree_memo.get(key)
         if tree is None:
             tree = memo.get(key)
+            if tree is None:
+                self.stats.memo_misses += 1
         return key, tree
 
     def _memo_put(self, key: tuple | None, tree: _PricedTree) -> None:
@@ -397,10 +471,8 @@ class PathPricingEngine:
             # Initial-weight tree: every future run starts here, so it
             # is exempt from cap eviction (bounded by #sources).
             self._initial_tree_memo[key] = tree
-        else:
-            if len(memo) >= self._memo_cap:
-                memo.clear()
-            memo[key] = tree
+        elif memo.put(key, tree):
+            self.stats.memo_evictions += 1
 
     def _compute_tree(self, source: int) -> _PricedTree:
         key, tree = self._memo_get(source)
@@ -751,6 +823,194 @@ class PathPricingEngine:
             # score remains a valid lower bound (weights only grew).
             heapq.heappush(self._heap, (selection.score, idx, -1))
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore (the trace-replay substrate)
+    # ------------------------------------------------------------------ #
+    def fork(self) -> "PathEngineCheckpoint":
+        """Snapshot the engine's mutable state into an immutable checkpoint.
+
+        Cached :class:`_PricedTree` objects are immutable, so the snapshot
+        shares them by reference (copy-on-write for free: a later eviction
+        replaces dict entries, never mutates a tree) — only the heap, the
+        flag arrays and the bookkeeping dicts are copied.  The owning
+        :class:`DualWeights` is *not* captured; checkpoint it alongside
+        (``duals.copy()``) and restore both together.
+        """
+        return PathEngineCheckpoint(
+            num_requests=len(self._requests),
+            heap=tuple(self._heap),
+            selected=bytes(self._selected),
+            dropped=bytes(self._dropped),
+            pending=self._pending,
+            source_live=tuple(self._source_live.items()),
+            trees=tuple(self._trees.items()),
+            edge_sources=tuple(
+                (e, frozenset(s)) for e, s in self._edge_sources.items()
+            ),
+            source_epoch=tuple(self._source_epoch.items()),
+        )
+
+    def restore(
+        self, checkpoint: "PathEngineCheckpoint", *, drop_index: int | None = None
+    ) -> None:
+        """Reset the mutable state to ``checkpoint`` (same request pool).
+
+        The caller must restore the owning :class:`DualWeights` to the
+        matching snapshot *before* calling (heap scores are lower bounds
+        only relative to those weights).  ``drop_index`` omits that
+        request's heap entries during the copy — the trace replayer swaps
+        in a probed declaration via :meth:`set_request` and re-inserts it
+        exactly priced via :meth:`push_fresh`.
+        """
+        if checkpoint.num_requests != len(self._requests):
+            raise ValueError("checkpoint belongs to a different request pool")
+        if drop_index is None:
+            self._heap = list(checkpoint.heap)
+        else:
+            # Filtering an array-heap breaks the heap invariant; re-heapify.
+            heap = [entry for entry in checkpoint.heap if entry[1] != drop_index]
+            heapq.heapify(heap)
+            self._heap = heap
+        self._selected = bytearray(checkpoint.selected)
+        self._dropped = bytearray(checkpoint.dropped)
+        self._pending = checkpoint.pending
+        self._source_live = dict(checkpoint.source_live)
+        self._trees = dict(checkpoint.trees)
+        self._edge_sources = {e: set(s) for e, s in checkpoint.edge_sources}
+        self._source_epoch = dict(checkpoint.source_epoch)
+        self._w_list = None
+        self._w_bytes = None
+
+    def set_request(self, index: int, request) -> None:
+        """Swap the declaration at ``index`` (same terminals) — the trace
+        replayer's probe hook.  The caller owns heap consistency: pair with
+        ``restore(..., drop_index=index)`` + :meth:`push_fresh`."""
+        old = self._requests[index]
+        if (old.source, old.target) != (request.source, request.target):
+            raise ValueError("set_request requires identical terminals")
+        self._requests[index] = request
+
+    def push_fresh(self, index: int) -> float | None:
+        """Price ``index`` exactly under the current weights and (re)insert
+        it into the lazy heap.  Returns the exact score, or ``None`` when
+        the request is unroutable (it is then dropped from the pool)."""
+        req = self._requests[index]
+        tree = self._get_tree(req.source)
+        d = tree.dist[req.target]
+        if d == _INF:
+            self._drop(index)
+            return None
+        score = self._score(index, req, d)
+        heapq.heappush(
+            self._heap, (score, index, self._source_epoch.get(req.source, 0))
+        )
+        return score
+
+    def replay_commit(
+        self,
+        index: int,
+        sorted_edge_ids: np.ndarray,
+        edge_ids: Sequence[int],
+    ) -> None:
+        """Re-apply one *recorded* selection without re-running selection:
+        the exact dual update (bit-identical — same sorted id array, same
+        demand), tree invalidation and pool bookkeeping.
+
+        In keep-selectable mode (repetitions) the winner's pre-existing
+        heap entry remains its valid lower bound, so no re-push is needed;
+        the epoch bump from the tree eviction forces a re-pricing before it
+        can win again.
+        """
+        req = self._requests[index]
+        self._duals.apply_selection(sorted_edge_ids, req.demand, assume_unique=True)
+        self._w_list = None
+        self._w_bytes = None
+        self._invalidate_edges(edge_ids)
+        if self._remove_selected:
+            self._selected[index] = 1
+            self._retire(index)
+
+    def current_distance(self, index: int) -> float:
+        """Exact shortest-path distance of ``index``'s terminals under the
+        current weights (through the tree cache)."""
+        req = self._requests[index]
+        return self._get_tree(req.source).dist[req.target]
+
+    def drop_request(self, index: int) -> None:
+        """Remove a live request from the pool (the trace replayer's
+        exclusion hook: record the run *without* one winner).  Lingering
+        heap entries are lazily deleted, as for unroutable drops."""
+        self._drop(index)
+
+    def revive(self, index: int) -> None:
+        """Undo a :meth:`drop_request` (or an unroutable drop) restored from
+        a checkpoint: the request re-enters the pool as live-but-unpriced;
+        follow with :meth:`push_fresh`.  No-op when already live."""
+        if self._dropped[index]:
+            self._dropped[index] = 0
+            self._pending += 1
+            source = self._requests[index].source
+            self._source_live[source] = self._source_live.get(source, 0) + 1
+
+    def peek_min_bound(self) -> float:
+        """The smallest live heap key — a lower bound on every pending
+        request's current score (``inf`` when nothing is pending).
+
+        Entries of retired requests are lazily deleted here exactly as in
+        :meth:`select`; in keep-selectable mode the most recent winner's
+        own stale entry may be the minimum, which keeps the value a sound
+        (if weak) bound on the runner-up score the trace replayer wants.
+        """
+        heap = self._heap
+        while heap and (self._selected[heap[0][1]] or self._dropped[heap[0][1]]):
+            heapq.heappop(heap)
+        return heap[0][0] if heap else math.inf
+
+
+class PathEngineCheckpoint:
+    """Immutable snapshot of a :class:`PathPricingEngine`'s mutable state.
+
+    Produced by :meth:`PathPricingEngine.fork`, consumed by
+    :meth:`PathPricingEngine.restore`.  Trees are shared by reference
+    (immutable); every container is stored in a frozen form so one
+    checkpoint can seed any number of restores.
+    """
+
+    __slots__ = (
+        "num_requests",
+        "heap",
+        "selected",
+        "dropped",
+        "pending",
+        "source_live",
+        "trees",
+        "edge_sources",
+        "source_epoch",
+    )
+
+    def __init__(
+        self,
+        *,
+        num_requests: int,
+        heap: tuple,
+        selected: bytes,
+        dropped: bytes,
+        pending: int,
+        source_live: tuple,
+        trees: tuple,
+        edge_sources: tuple,
+        source_epoch: tuple,
+    ) -> None:
+        self.num_requests = num_requests
+        self.heap = heap
+        self.selected = selected
+        self.dropped = dropped
+        self.pending = pending
+        self.source_live = source_live
+        self.trees = trees
+        self.edge_sources = edge_sources
+        self.source_epoch = source_epoch
+
 
 class _EmptyBidPool:
     """The zero-bid stand-in :meth:`BundlePricingEngine.streaming` builds
@@ -858,9 +1118,16 @@ class BundlePricingEngine:
         # hence rounding) matches bit for bit.
         return self._duals.path_length(self._bundles[idx]) / self._values[idx]
 
-    def select_and_commit(self) -> tuple[int, float] | None:
+    def select_and_commit(self, pre_commit_hook=None) -> tuple[int, float] | None:
         """Pick the reference-identical winning bid, apply its dual update and
-        return ``(bid_index, score)`` — or ``None`` when no bid remains."""
+        return ``(bid_index, score)`` — or ``None`` when no bid remains.
+
+        ``pre_commit_hook(index, score)``, if given, fires after the winner
+        is determined (fresh non-winners already re-pushed) but before the
+        dual update — the window where :meth:`peek_min_bound` still reads
+        runner-up scores under the pre-update weights, which is what the
+        trace recorder needs.
+        """
         if not self._pending:
             return None
         stats = self.stats
@@ -902,11 +1169,99 @@ class BundlePricingEngine:
             if i != best_idx:
                 heapq.heappush(heap, (score, i))
 
-        self._duals.apply_selection(self._bundles[best_idx], 1.0, assume_unique=True)
-        self._selected[best_idx] = 1
+        if pre_commit_hook is not None:
+            pre_commit_hook(best_idx, best_score)
+        self.replay_commit(best_idx)
+        return best_idx, best_score
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore (the trace-replay substrate)
+    # ------------------------------------------------------------------ #
+    def replay_commit(self, index: int) -> None:
+        """Apply the dual update and bookkeeping of bid ``index`` winning —
+        the commit half of :meth:`select_and_commit`, also used by the
+        trace replayer to re-apply recorded rounds without re-selecting.
+        The dual arithmetic is bit-identical either way (same bundle id
+        array, same order)."""
+        self._duals.apply_selection(self._bundles[index], 1.0, assume_unique=True)
+        self._selected[index] = 1
         self._pending -= 1
-        for u in self._bundles[best_idx].tolist():
+        for u in self._bundles[index].tolist():
             for j in self._item_to_bids[u]:
                 if not self._selected[j]:
                     self._dirty[j] = 1
-        return best_idx, best_score
+
+    def fork(self) -> "BundleEngineCheckpoint":
+        """Snapshot the mutable state (bundles/values/incidence are static
+        per bid pool and stay shared).  Checkpoint the owning
+        :class:`DualWeights` alongside."""
+        return BundleEngineCheckpoint(
+            num_bids=len(self._bundles),
+            heap=tuple(self._heap),
+            selected=bytes(self._selected),
+            dirty=bytes(self._dirty),
+            pending=self._pending,
+        )
+
+    def restore(
+        self, checkpoint: "BundleEngineCheckpoint", *, drop_index: int | None = None
+    ) -> None:
+        """Reset to ``checkpoint`` (same bid pool); restore the owning
+        :class:`DualWeights` first.  ``drop_index`` omits that bid's heap
+        entries — pair with :meth:`set_value` + :meth:`push_fresh`."""
+        if checkpoint.num_bids != len(self._bundles):
+            raise ValueError("checkpoint belongs to a different bid pool")
+        if drop_index is None:
+            self._heap = list(checkpoint.heap)
+        else:
+            heap = [entry for entry in checkpoint.heap if entry[1] != drop_index]
+            heapq.heapify(heap)
+            self._heap = heap
+        self._selected = bytearray(checkpoint.selected)
+        self._dirty = bytearray(checkpoint.dirty)
+        self._pending = checkpoint.pending
+
+    def set_value(self, index: int, value: float) -> None:
+        """Swap the declared value of bid ``index`` (the probe hook)."""
+        self._values[index] = float(value)
+
+    def push_fresh(self, index: int) -> float:
+        """Price bid ``index`` exactly under the current item weights, mark
+        it clean and (re)insert it into the lazy heap."""
+        score = self._price(index)
+        self._dirty[index] = 0
+        heapq.heappush(self._heap, (score, index))
+        return score
+
+    def current_price(self, index: int) -> float:
+        """Exact bundle price ``sum_{u in U_r} y_u`` under current weights."""
+        return self._duals.path_length(self._bundles[index])
+
+    def peek_min_bound(self) -> float:
+        """Smallest live heap key — a lower bound on every pending bid's
+        current score (``inf`` when nothing is pending)."""
+        heap = self._heap
+        while heap and self._selected[heap[0][1]]:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else math.inf
+
+
+class BundleEngineCheckpoint:
+    """Immutable snapshot of a :class:`BundlePricingEngine`'s mutable state."""
+
+    __slots__ = ("num_bids", "heap", "selected", "dirty", "pending")
+
+    def __init__(
+        self,
+        *,
+        num_bids: int,
+        heap: tuple,
+        selected: bytes,
+        dirty: bytes,
+        pending: int,
+    ) -> None:
+        self.num_bids = num_bids
+        self.heap = heap
+        self.selected = selected
+        self.dirty = dirty
+        self.pending = pending

@@ -51,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serial; 0 = all cores; results are bit-identical at any --jobs)",
     )
     run_parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="answer payment/audit probe runs from scratch instead of by "
+        "checkpointed trace replay (results are bit-identical; use for "
+        "A/B timing)",
+    )
+    run_parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text tables"
     )
     return parser
@@ -76,15 +83,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     quick = not args.full
+    use_trace = not args.no_trace
     failed = False
     if args.experiment.lower() == "all":
-        results = run_all(quick=quick, seed=args.seed, jobs=args.jobs)
+        results = run_all(
+            quick=quick, seed=args.seed, jobs=args.jobs, use_trace=use_trace
+        )
         for result in results.values():
             _print_result(result, args.json)
             failed = failed or not result.all_claims_hold
     else:
         result = get_experiment(args.experiment).run(
-            quick=quick, seed=args.seed, jobs=args.jobs
+            quick=quick, seed=args.seed, jobs=args.jobs, use_trace=use_trace
         )
         _print_result(result, args.json)
         failed = not result.all_claims_hold

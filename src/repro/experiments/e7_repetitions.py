@@ -9,11 +9,14 @@ reports side by side for contrast.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.core.bounded_ufp import bounded_ufp
 from repro.core.bounded_ufp_repeat import bounded_ufp_repeat
 from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells, ratio
 from repro.flows.generators import random_instance
 from repro.lp.fractional_ufp import solve_fractional_ufp
+from repro.mechanism.payments import compute_ufp_payments
 from repro.types import E_OVER_E_MINUS_1
 from repro.utils.prng import spawn_rngs
 
@@ -24,7 +27,7 @@ PAPER_CLAIM = "value(Bounded-UFP-Repeat(eps)) >= OPT_rep / (1 + 6 eps) when B >=
 
 def _cell(task) -> CellOutcome:
     """One repetitions-vs-plain cell; ``task`` carries its own RNG."""
-    (eps, capacity, num_vertices, num_requests), rng = task
+    (eps, capacity, num_vertices, num_requests), rng, use_trace = task
     outcome = CellOutcome()
     instance = random_instance(
         num_vertices=num_vertices,
@@ -46,6 +49,19 @@ def _cell(task) -> CellOutcome:
     fractional_plain = solve_fractional_ufp(instance)
     plain_ratio = ratio(fractional_plain.objective, plain_allocation.value)
 
+    # Revenue of the truthful mechanism induced by the plain (monotone)
+    # rule: critical-value payments for every winner, answered by
+    # checkpointed trace replay when enabled (bit-identical payments).
+    replay_stats: dict = {}
+    payments = compute_ufp_payments(
+        partial(bounded_ufp, epsilon=eps),
+        instance,
+        plain_allocation,
+        use_trace=use_trace,
+        replay_stats=replay_stats,
+    )
+    revenue = float(payments.sum())
+
     iteration_bound = (
         instance.num_edges * instance.graph.max_capacity / instance.min_demand
     )
@@ -61,6 +77,12 @@ def _cell(task) -> CellOutcome:
         no_repeat_ratio_vs_its_opt=plain_ratio,
         iteration_bound_m_cmax_over_dmin=iteration_bound,
         iterations=repeat_allocation.stats.iterations,
+        truthful_revenue=revenue,
+        replay_rounds_recomputed=replay_stats.get("replay_rounds_recomputed", 0.0),
+    )
+    outcome.claim(
+        "critical-value revenue never exceeds the allocated value",
+        revenue <= plain_allocation.value + 1e-9,
     )
     outcome.claim("repetition allocation is feasible", repeat_allocation.is_feasible())
     if meets:
@@ -81,9 +103,14 @@ def _cell(task) -> CellOutcome:
 
 
 def run(
-    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+    *,
+    quick: bool = True,
+    seed: int | None = None,
+    jobs: int | None = None,
+    use_trace: bool = True,
 ) -> ExperimentResult:
-    """Run the E7 sweep."""
+    """Run the E7 sweep (``use_trace`` routes the revenue payments through
+    the checkpointed trace-replay engine; numbers are bit-identical)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -91,6 +118,7 @@ def run(
             "eps", "B", "m", "requests", "repeat_value", "frac_opt_rep",
             "measured_ratio", "paper_guarantee", "no_repeat_ratio_vs_its_opt",
             "iteration_bound_m_cmax_over_dmin", "iterations",
+            "truthful_revenue", "replay_rounds_recomputed",
         ],
     )
     cells = (
@@ -99,7 +127,8 @@ def run(
         else [(0.35, 35.0, 12, 16), (0.30, 45.0, 12, 16), (0.25, 70.0, 12, 18), (0.20, 110.0, 10, 16)]
     )
     rngs = spawn_rngs(seed, len(cells))
-    result.merge(map_cells(_cell, list(zip(cells, rngs)), jobs=jobs))
+    tasks = [(cell, rng, use_trace) for cell, rng in zip(cells, rngs)]
+    result.merge(map_cells(_cell, tasks, jobs=jobs))
 
     result.notes = (
         f"the (1 + 6 eps) guarantee contrasts with the e/(e-1) ~ {E_OVER_E_MINUS_1:.3f} "

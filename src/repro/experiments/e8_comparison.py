@@ -11,6 +11,7 @@ the stopping-rule ablation called out in DESIGN.md: the BKV-style baseline
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.baselines.briest import briest_style_ufp
@@ -19,6 +20,7 @@ from repro.baselines.greedy import greedy_ufp_by_density, greedy_ufp_by_value
 from repro.baselines.randomized_rounding import randomized_rounding_ufp
 from repro.core.bounded_ufp import bounded_ufp
 from repro.experiments.harness import CellOutcome, ExperimentResult, map_cells, ratio
+from repro.mechanism.payments import compute_ufp_payments
 from repro.flows.generators import (
     hotspot_instance,
     isp_instance,
@@ -82,11 +84,18 @@ def _workloads(quick: bool, seed: int | None) -> dict[str, UFPInstance]:
     return workloads
 
 
+#: How many winners per workload get a critical-value payment in the
+#: revenue sample (full payments on the big E8 workloads would dwarf the
+#: comparison itself; the sample demonstrates the mechanism and exercises
+#: the trace-replay path on every workload).
+_REVENUE_SAMPLE = 8
+
+
 def _cell(task) -> CellOutcome:
     """One workload cell (full algorithm grid), or the small exact cell."""
     outcome = CellOutcome()
     if task[0] == "small-exact":
-        _, small = task
+        _, small, _ = task
         exact = exact_ufp(small, max_paths_per_request=40, max_path_hops=6)
         primal_dual = bounded_ufp(small, 1.0)
         frac_small = solve_fractional_ufp(small)
@@ -112,13 +121,16 @@ def _cell(task) -> CellOutcome:
         )
         return outcome
 
-    workload_name, instance = task
+    workload_name, instance, use_trace = task
     fractional = solve_fractional_ufp(instance)
     values: dict[str, float] = {}
+    bounded_allocation = None
     for algorithm_name, algorithm in _algorithms().items():
         allocation = algorithm(instance)
         feasible = allocation.is_feasible()
         values[algorithm_name] = allocation.value
+        if algorithm_name == "Bounded-UFP":
+            bounded_allocation = allocation
         outcome.add_row(
             workload=workload_name,
             algorithm=algorithm_name,
@@ -129,6 +141,30 @@ def _cell(task) -> CellOutcome:
         )
         outcome.claim("every algorithm outputs a feasible allocation", feasible)
 
+    # Truthful-mechanism revenue sample for the monotone rule: critical
+    # values of the first winners, answered by trace replay when enabled.
+    sample = sorted(bounded_allocation.selected_indices())[:_REVENUE_SAMPLE]
+    payments = compute_ufp_payments(
+        partial(bounded_ufp, epsilon=EPSILON),
+        instance,
+        bounded_allocation,
+        winners=sample,
+        use_trace=use_trace,
+    )
+    sampled_value = sum(instance.requests[i].value for i in sample)
+    outcome.add_row(
+        workload=workload_name,
+        algorithm=f"Bounded-UFP payments[{len(sample)} winners]",
+        value=float(payments.sum()),
+        frac_opt=fractional.objective,
+        ratio_vs_frac=float("nan"),
+        feasible=True,
+    )
+    outcome.claim(
+        "sampled critical values never exceed the sampled declared values",
+        float(payments.sum()) <= sampled_value + 1e-9,
+    )
+
     outcome.claim(
         PAPER_CLAIM,
         values["Bounded-UFP"] >= values["BKV-style (e-approx)"] - 1e-9,
@@ -137,9 +173,14 @@ def _cell(task) -> CellOutcome:
 
 
 def run(
-    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+    *,
+    quick: bool = True,
+    seed: int | None = None,
+    jobs: int | None = None,
+    use_trace: bool = True,
 ) -> ExperimentResult:
-    """Run the E8 comparison grid."""
+    """Run the E8 comparison grid (``use_trace`` routes the revenue sample
+    through the checkpointed trace-replay engine; bit-identical numbers)."""
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
@@ -154,8 +195,10 @@ def run(
         seed=spawn_rngs(seed, 4)[3],
     )
     # Exact optimum as ground truth on a small extra cell.
-    tasks: list = list(workloads.items())
-    tasks.append(("small-exact", small))
+    tasks: list = [
+        (name, instance, use_trace) for name, instance in workloads.items()
+    ]
+    tasks.append(("small-exact", small, use_trace))
     result.merge(map_cells(_cell, tasks, jobs=jobs))
 
     result.notes = (

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
@@ -46,10 +47,17 @@ class ExperimentSpec:
         quick: bool = True,
         seed: int | None = None,
         jobs: int | None = None,
+        use_trace: bool = True,
     ) -> ExperimentResult:
         """Run the experiment; ``jobs`` fans its cells out over worker
-        processes (results are bit-identical at any ``jobs``)."""
-        return self.runner(quick=quick, seed=seed, jobs=jobs)
+        processes and ``use_trace`` routes payment/audit probe runs through
+        the checkpointed trace-replay engine where the experiment supports
+        it (results are bit-identical at any ``jobs`` and either
+        ``use_trace``)."""
+        kwargs = dict(quick=quick, seed=seed, jobs=jobs)
+        if "use_trace" in inspect.signature(self.runner).parameters:
+            kwargs["use_trace"] = use_trace
+        return self.runner(**kwargs)
 
 
 _MODULES = [
@@ -98,16 +106,25 @@ def run_experiment(
     quick: bool = True,
     seed: int | None = None,
     jobs: int | None = None,
+    use_trace: bool = True,
 ) -> ExperimentResult:
     """Run one experiment and return its result."""
-    return get_experiment(experiment_id).run(quick=quick, seed=seed, jobs=jobs)
+    return get_experiment(experiment_id).run(
+        quick=quick, seed=seed, jobs=jobs, use_trace=use_trace
+    )
 
 
 def run_all(
-    *, quick: bool = True, seed: int | None = None, jobs: int | None = None
+    *,
+    quick: bool = True,
+    seed: int | None = None,
+    jobs: int | None = None,
+    use_trace: bool = True,
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment, in id order."""
     return {
-        experiment_id: EXPERIMENTS[experiment_id].run(quick=quick, seed=seed, jobs=jobs)
+        experiment_id: EXPERIMENTS[experiment_id].run(
+            quick=quick, seed=seed, jobs=jobs, use_trace=use_trace
+        )
         for experiment_id in available_experiments()
     }

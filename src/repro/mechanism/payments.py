@@ -24,6 +24,7 @@ declarations being probed, so reuse is sound and bit-exact.)
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -31,6 +32,7 @@ import numpy as np
 from repro import parallel
 from repro.auctions.allocation import MUCAAllocation
 from repro.auctions.instance import MUCAInstance
+from repro.core.trace import TraceRecorder, make_replayer, supports_trace
 from repro.exceptions import MechanismError
 from repro.flows.allocation import Allocation
 from repro.flows.instance import UFPInstance
@@ -44,6 +46,9 @@ __all__ = [
 
 UFPAlgorithm = Callable[[UFPInstance], Allocation]
 MUCAAlgorithm = Callable[[MUCAInstance], MUCAAllocation]
+
+#: Bisection iteration cap shared by every critical-value entry point.
+_MAX_BISECTIONS = 60
 
 
 def _bisect_critical_value(
@@ -64,10 +69,30 @@ def _bisect_critical_value(
 
     ``known_selected=True`` asserts the caller has already observed the agent
     selected at its declaration (e.g. it is iterating the winners of the
-    allocation the same deterministic algorithm produced), so the redundant
+    allocation the same deterministic algorithm produced, or a trace
+    replayer certified the declaration's winning round), so the redundant
     confirming run is skipped — one full mechanism re-run saved per winner.
+    This is a *contract*, not a hint: with a predicate that is false at the
+    declaration the bisection silently returns a meaningless bound instead
+    of raising :class:`~repro.exceptions.MechanismError`.
+
+    Probes are memoized on the exact probed value, so the ``tiny``
+    quick-exit probe, the confirming probe and any midpoint that lands on a
+    previously-probed value never run the mechanism twice.  The probe
+    *sequence* is deliberately kept identical whatever extra knowledge the
+    caller has (trace certificates answer probes, they never move the
+    brackets), so the returned float is bit-identical across the
+    from-scratch, trace-replay and any-``jobs`` paths.
     """
-    if not known_selected and not is_selected_at(declared_value):
+    cache: dict[float, bool] = {}
+
+    def probe(value: float) -> bool:
+        hit = cache.get(value)
+        if hit is None:
+            hit = cache[value] = bool(is_selected_at(value))
+        return hit
+
+    if not known_selected and not probe(declared_value):
         raise MechanismError(
             "critical value requested for a declaration that is not selected"
         )
@@ -75,13 +100,13 @@ def _bisect_critical_value(
     high = float(declared_value)
     # Quick exit: selected even at a negligible positive value -> payment ~ 0.
     tiny = max(absolute_tolerance, relative_tolerance * high) * 0.5
-    if is_selected_at(tiny):
+    if probe(tiny):
         return 0.0
     for _ in range(max_iterations):
         if high - low <= max(absolute_tolerance, relative_tolerance * high):
             break
         mid = 0.5 * (low + high)
-        if is_selected_at(mid):
+        if probe(mid):
             high = mid
         else:
             low = mid
@@ -158,6 +183,127 @@ def critical_value_muca(
     )
 
 
+def _trace_critical_value_ufp(
+    replayer,
+    index: int,
+    *,
+    relative_tolerance: float,
+    absolute_tolerance: float,
+    max_iterations: int = _MAX_BISECTIONS,
+    declared=None,
+) -> float:
+    """Critical value of a (known-selected) declaration via trace replay.
+
+    ``declared`` defaults to the base run's declaration at ``index``; audit
+    callers pass the misreported request instead (probes then vary its
+    value at its declared demand).  Two trace certificates answer bracket
+    probes without replaying — the probe *sequence* stays identical to the
+    from-scratch bisection, so the returned float is bit-identical:
+
+    * values inside :meth:`~repro.core.trace.TraceReplayer
+      .certified_selected_interval` are selected by the recorded winning
+      round's score margin;
+    * values at or below :meth:`~repro.core.trace.TraceReplayer
+      .not_selected_below` can never be admitted (online threshold policy).
+    """
+    declared = replayer.declared(index) if declared is None else declared
+    demand = declared.demand
+    cert = replayer.certified_selected_interval(index, demand)
+    floor = replayer.not_selected_below(index, demand)
+    stats = replayer.stats
+
+    def is_selected_at(value: float) -> bool:
+        if value <= 0.0:
+            return False
+        if cert is not None and cert[0] <= value <= cert[1]:
+            stats.certificate_hits += 1
+            return True
+        if value <= floor:
+            stats.certificate_hits += 1
+            return False
+        return replayer.probe_selected(index, declared.with_value(value))
+
+    return _bisect_critical_value(
+        is_selected_at,
+        declared.value,
+        relative_tolerance=relative_tolerance,
+        absolute_tolerance=absolute_tolerance,
+        max_iterations=max_iterations,
+        known_selected=True,
+    )
+
+
+def _trace_critical_value_muca(
+    replayer,
+    index: int,
+    *,
+    relative_tolerance: float,
+    absolute_tolerance: float,
+    max_iterations: int = _MAX_BISECTIONS,
+    declared_value: float | None = None,
+) -> float:
+    """MUCA twin of :func:`_trace_critical_value_ufp` (value-only probes)."""
+    declared = (
+        replayer.declared(index).value if declared_value is None else declared_value
+    )
+    cert = replayer.certified_selected_interval(index, 1.0)
+    stats = replayer.stats
+
+    def is_selected_at(value: float) -> bool:
+        if value <= 0.0:
+            return False
+        if cert is not None and cert[0] <= value <= cert[1]:
+            stats.certificate_hits += 1
+            return True
+        return replayer.probe_selected(index, value)
+
+    return _bisect_critical_value(
+        is_selected_at,
+        declared,
+        relative_tolerance=relative_tolerance,
+        absolute_tolerance=absolute_tolerance,
+        max_iterations=max_iterations,
+        known_selected=True,
+    )
+
+
+def _record_base_run(algorithm, instance, expected_winners: set[int] | None):
+    """Run ``algorithm`` once with trace recording and build a replayer.
+
+    Returns ``None`` when ``algorithm`` does not accept a ``trace=`` keyword
+    (opaque wrappers fall back to from-scratch probe runs).  When the caller
+    knows the winner set of the allocation it holds, the traced base run is
+    checked against it — a free, loud version of ``verify_winners``.
+    """
+    if not supports_trace(algorithm):
+        return None
+    recorder = TraceRecorder()
+    base = algorithm(instance, trace=recorder)
+    if recorder.trace is None:
+        # A **kwargs wrapper that swallowed trace= — the base run above was
+        # wasted work and every probe will run from scratch; tell the user
+        # rather than being silently slower than use_trace=False.
+        warnings.warn(
+            "use_trace=True had no effect: the algorithm accepted but did "
+            "not forward the trace= keyword; falling back to from-scratch "
+            "probe runs",
+            stacklevel=3,
+        )
+        return None
+    if expected_winners is not None:
+        winners = (
+            set(base.winners)
+            if isinstance(base, MUCAAllocation)
+            else base.selected_indices()
+        )
+        if winners != expected_winners:
+            raise MechanismError(
+                "algorithm/allocation mismatch: the traced base run produced "
+                "a different winner set than the allocation being paid"
+            )
+    return make_replayer(recorder.trace)
+
+
 def _ufp_payment_task(idx: int) -> float:
     """One winner's critical value, with the shared state read from the
     :mod:`repro.parallel` worker payload (shipped once per worker)."""
@@ -170,6 +316,19 @@ def _muca_payment_task(idx: int) -> float:
     return critical_value_muca(algorithm, instance, idx, **kwargs)
 
 
+def _ufp_payment_task_trace(idx: int) -> float:
+    """Trace-replay twin of :func:`_ufp_payment_task`: the replayer (and its
+    warm checkpoint state) ships once per worker, each task resumes probe
+    runs from the divergence round."""
+    replayer, kwargs = parallel.worker_payload()
+    return _trace_critical_value_ufp(replayer, idx, **kwargs)
+
+
+def _muca_payment_task_trace(idx: int) -> float:
+    replayer, kwargs = parallel.worker_payload()
+    return _trace_critical_value_muca(replayer, idx, **kwargs)
+
+
 def compute_ufp_payments(
     algorithm: UFPAlgorithm,
     instance: UFPInstance,
@@ -180,6 +339,8 @@ def compute_ufp_payments(
     absolute_tolerance: float = 1e-9,
     verify_winners: bool = False,
     jobs: int | None = None,
+    use_trace: bool = False,
+    replay_stats: dict | None = None,
 ) -> np.ndarray:
     """Critical-value payments for every request (losers pay zero).
 
@@ -213,11 +374,49 @@ def compute_ufp_payments(
         algorithm ship once per worker (inherited copy-on-write under
         ``fork``, together with the warm per-graph tree memo), not once per
         winner.
+    use_trace:
+        Record the base run's acceptance trace once (one extra
+        ``algorithm`` call) and answer every bisection probe by
+        suffix-resume replay from the probe's divergence round instead of a
+        from-scratch run — see :mod:`repro.core.trace`.  The payment vector
+        is bit-identical with or without tracing (and at any ``jobs``);
+        only wall-clock changes.  Requires ``algorithm`` to accept a
+        ``trace=`` keyword (the ``repro.core`` solvers do); opaque wrappers
+        fall back to the from-scratch path silently.  The traced base run's
+        winner set is checked against ``allocation`` for free, so a
+        mismatched pair raises loudly even without ``verify_winners``.
+    replay_stats:
+        Optional dict that receives the replayer's work counters
+        (``replay_probes``, ``replay_rounds_skipped``, ...) after a traced
+        run — experiment cells surface these in ``RunStats.extra``-style
+        rows.  Left untouched when tracing is off or unavailable.  The
+        counters are accumulated in *this* process: under ``jobs > 1`` the
+        probes run in forked workers whose copies of the replayer are
+        discarded, so the counters read (near) zero — use ``jobs=1`` when
+        the diagnostics matter.
     """
     payments = np.zeros(instance.num_requests, dtype=np.float64)
     winner_set = allocation.selected_indices()
     targets = winner_set if winners is None else (set(int(w) for w in winners) & winner_set)
     ordered = sorted(targets)
+    if use_trace and ordered:
+        replayer = _record_base_run(algorithm, instance, winner_set)
+        if replayer is not None:
+            kwargs = dict(
+                relative_tolerance=relative_tolerance,
+                absolute_tolerance=absolute_tolerance,
+            )
+            values = parallel.pmap(
+                _ufp_payment_task_trace,
+                ordered,
+                jobs=jobs,
+                payload=(replayer, kwargs),
+            )
+            for idx, value in zip(ordered, values):
+                payments[idx] = value
+            if replay_stats is not None:
+                replay_stats.update(replayer.stats.as_extra())
+            return payments
     # Each ``idx`` is a winner of the allocation this same (deterministic)
     # algorithm produced, so it is selected at its declared value by
     # construction — skip the confirming re-run unless the caller asked
@@ -245,17 +444,39 @@ def compute_muca_payments(
     absolute_tolerance: float = 1e-9,
     verify_winners: bool = False,
     jobs: int | None = None,
+    use_trace: bool = False,
+    replay_stats: dict | None = None,
 ) -> np.ndarray:
     """Critical-value payments for every bid (losers pay zero).
 
     ``algorithm`` must be the deterministic callable that produced
     ``allocation``; see :func:`compute_ufp_payments` for the
-    ``verify_winners`` escape hatch and the ``jobs`` fan-out contract.
+    ``verify_winners`` escape hatch, the ``jobs`` fan-out contract and the
+    ``use_trace`` suffix-resume replay path (bit-identical payments, only
+    wall-clock changes).
     """
     payments = np.zeros(instance.num_bids, dtype=np.float64)
     winner_set = set(allocation.winners)
     targets = winner_set if winners is None else (set(int(w) for w in winners) & winner_set)
     ordered = sorted(targets)
+    if use_trace and ordered:
+        replayer = _record_base_run(algorithm, instance, winner_set)
+        if replayer is not None:
+            kwargs = dict(
+                relative_tolerance=relative_tolerance,
+                absolute_tolerance=absolute_tolerance,
+            )
+            values = parallel.pmap(
+                _muca_payment_task_trace,
+                ordered,
+                jobs=jobs,
+                payload=(replayer, kwargs),
+            )
+            for idx, value in zip(ordered, values):
+                payments[idx] = value
+            if replay_stats is not None:
+                replay_stats.update(replayer.stats.as_extra())
+            return payments
     kwargs = dict(
         relative_tolerance=relative_tolerance,
         absolute_tolerance=absolute_tolerance,

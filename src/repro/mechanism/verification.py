@@ -27,7 +27,13 @@ from repro.exceptions import MechanismError
 from repro.flows.allocation import Allocation
 from repro.flows.instance import UFPInstance
 from repro.mechanism.agents import MUCAAgent, UFPAgent
-from repro.mechanism.payments import critical_value_muca, critical_value_ufp
+from repro.mechanism.payments import (
+    _record_base_run,
+    _trace_critical_value_muca,
+    _trace_critical_value_ufp,
+    critical_value_muca,
+    critical_value_ufp,
+)
 from repro.utils.prng import ensure_rng
 
 __all__ = [
@@ -90,6 +96,24 @@ def _ufp_outcome(
     return True, payment
 
 
+def _ufp_outcome_trace(replayer, index: int, declared) -> tuple[bool, float]:
+    """Trace-replay twin of :func:`_ufp_outcome`: the declared instance is
+    the audit's base instance with agent ``index``'s declaration replaced
+    by ``declared`` — a single-index perturbation, so both the selection
+    question and every payment-bisection probe replay from the one recorded
+    base run.  Outcomes are bit-identical to the from-scratch path."""
+    if not replayer.probe_selected(index, declared):
+        return False, 0.0
+    payment = _trace_critical_value_ufp(
+        replayer,
+        index,
+        relative_tolerance=1e-6,
+        absolute_tolerance=1e-9,
+        declared=declared,
+    )
+    return True, payment
+
+
 def _audit_ufp_agent(task: tuple[int, list[tuple[float, float]]]):
     """Audit one agent: evaluate the truthful outcome plus every misreport.
 
@@ -100,10 +124,15 @@ def _audit_ufp_agent(task: tuple[int, list[tuple[float, float]]]):
     the report is bit-identical at any ``jobs``.
     """
     idx, random_misreports = task
-    algorithm, instance, misreport_grid, tolerance = parallel.worker_payload()
+    algorithm, instance, misreport_grid, tolerance, replayer = parallel.worker_payload()
     true_request = instance.requests[idx]
     agent = UFPAgent.truthful(true_request)
-    truthful_selected, truthful_payment = _ufp_outcome(algorithm, instance, idx)
+    if replayer is not None:
+        truthful_selected, truthful_payment = _ufp_outcome_trace(
+            replayer, idx, true_request
+        )
+    else:
+        truthful_selected, truthful_payment = _ufp_outcome(algorithm, instance, idx)
     truthful_utility = agent.utility(truthful_selected, truthful_payment)
     if truthful_utility < -tolerance:
         raise MechanismError(
@@ -129,9 +158,12 @@ def _audit_ufp_agent(task: tuple[int, list[tuple[float, float]]]):
     max_gain = 0.0
     for demand, value in misreports:
         lie = true_request.with_type(demand=demand, value=value)
-        lie_instance = instance.replace_request(idx, lie)
         lie_agent = UFPAgent(true_request=true_request, declared_request=lie)
-        lie_selected, lie_payment = _ufp_outcome(algorithm, lie_instance, idx)
+        if replayer is not None:
+            lie_selected, lie_payment = _ufp_outcome_trace(replayer, idx, lie)
+        else:
+            lie_instance = instance.replace_request(idx, lie)
+            lie_selected, lie_payment = _ufp_outcome(algorithm, lie_instance, idx)
         lie_utility = lie_agent.utility(lie_selected, lie_payment)
         gain = lie_utility - truthful_utility
         max_gain = max(max_gain, gain)
@@ -158,6 +190,7 @@ def audit_ufp_truthfulness(
     tolerance: float = 1e-4,
     seed: int | np.random.Generator | None = None,
     jobs: int | None = None,
+    use_trace: bool = False,
 ) -> TruthfulnessReport:
     """Audit the mechanism induced by ``algorithm`` + critical-value payments.
 
@@ -188,10 +221,20 @@ def audit_ufp_truthfulness(
         ``REPRO_JOBS`` environment default → serial).  The random draws
         happen up front in agent order from the single RNG stream, so the
         report is bit-identical at any ``jobs``.
+    use_trace:
+        Record the truthful base run once and answer every audit
+        evaluation — the lie allocations *and* all their payment-bisection
+        probes, each a single-declaration perturbation of the base
+        instance — by checkpointed suffix-resume replay
+        (:mod:`repro.core.trace`).  The report is bit-identical with or
+        without tracing; only wall-clock changes.  Falls back silently
+        when ``algorithm`` does not accept a ``trace=`` keyword.
     """
     rng = ensure_rng(seed)
     indices = list(range(instance.num_requests)) if agents is None else [int(a) for a in agents]
     report = TruthfulnessReport()
+
+    replayer = _record_base_run(algorithm, instance, None) if use_trace else None
 
     # Pre-derive every agent's random misreports in agent order — the RNG
     # consumption is exactly that of the historical sequential loop (the
@@ -213,7 +256,7 @@ def audit_ufp_truthfulness(
         _audit_ufp_agent,
         tasks,
         jobs=jobs,
-        payload=(algorithm, instance, misreport_grid, tolerance),
+        payload=(algorithm, instance, misreport_grid, tolerance, replayer),
     )
     for tried, deviations, max_gain in outcomes:
         report.agents_audited += 1
@@ -235,13 +278,32 @@ def _muca_outcome(
     return True, payment
 
 
+def _muca_outcome_trace(replayer, index: int, declared_value: float) -> tuple[bool, float]:
+    """Trace-replay twin of :func:`_muca_outcome` (value-only probes)."""
+    if not replayer.probe_selected(index, declared_value):
+        return False, 0.0
+    payment = _trace_critical_value_muca(
+        replayer,
+        index,
+        relative_tolerance=1e-6,
+        absolute_tolerance=1e-9,
+        declared_value=declared_value,
+    )
+    return True, payment
+
+
 def _audit_muca_agent(task: tuple[int, list[float]]):
     """Audit one bid; the MUCA analogue of :func:`_audit_ufp_agent`."""
     idx, random_values = task
-    algorithm, instance, value_grid, tolerance = parallel.worker_payload()
+    algorithm, instance, value_grid, tolerance, replayer = parallel.worker_payload()
     true_bid = instance.bids[idx]
     agent = MUCAAgent.truthful(true_bid)
-    truthful_selected, truthful_payment = _muca_outcome(algorithm, instance, idx)
+    if replayer is not None:
+        truthful_selected, truthful_payment = _muca_outcome_trace(
+            replayer, idx, true_bid.value
+        )
+    else:
+        truthful_selected, truthful_payment = _muca_outcome(algorithm, instance, idx)
     truthful_utility = agent.utility(truthful_selected, truthful_payment)
     if truthful_utility < -tolerance:
         raise MechanismError(
@@ -259,9 +321,12 @@ def _audit_muca_agent(task: tuple[int, list[float]]):
     max_gain = 0.0
     for value in values:
         lie = true_bid.with_value(value)
-        lie_instance = instance.replace_bid(idx, lie)
         lie_agent = MUCAAgent(true_bid=true_bid, declared_bid=lie)
-        lie_selected, lie_payment = _muca_outcome(algorithm, lie_instance, idx)
+        if replayer is not None:
+            lie_selected, lie_payment = _muca_outcome_trace(replayer, idx, value)
+        else:
+            lie_instance = instance.replace_bid(idx, lie)
+            lie_selected, lie_payment = _muca_outcome(algorithm, lie_instance, idx)
         lie_utility = lie_agent.utility(lie_selected, lie_payment)
         gain = lie_utility - truthful_utility
         max_gain = max(max_gain, gain)
@@ -288,16 +353,21 @@ def audit_muca_truthfulness(
     tolerance: float = 1e-4,
     seed: int | np.random.Generator | None = None,
     jobs: int | None = None,
+    use_trace: bool = False,
 ) -> TruthfulnessReport:
     """Value-misreport audit of the auction mechanism (known single-minded).
 
     ``value_grid`` optionally adds deterministic value *multipliers* tried
     for every audited bid on top of the random draws (the MUCA analogue of
     :func:`audit_ufp_truthfulness`'s ``misreport_grid``); ``jobs`` fans the
-    per-bid audits out with the same bit-identical contract."""
+    per-bid audits out with the same bit-identical contract, and
+    ``use_trace`` answers every evaluation by checkpointed suffix-resume
+    replay of one recorded base run (bit-identical report, less work)."""
     rng = ensure_rng(seed)
     indices = list(range(instance.num_bids)) if agents is None else [int(a) for a in agents]
     report = TruthfulnessReport()
+
+    replayer = _record_base_run(algorithm, instance, None) if use_trace else None
 
     tasks: list[tuple[int, list[float]]] = []
     for idx in indices:
@@ -312,7 +382,7 @@ def audit_muca_truthfulness(
         _audit_muca_agent,
         tasks,
         jobs=jobs,
-        payload=(algorithm, instance, value_grid, tolerance),
+        payload=(algorithm, instance, value_grid, tolerance, replayer),
     )
     for tried, deviations, max_gain in outcomes:
         report.agents_audited += 1

@@ -69,6 +69,7 @@ def drain_engine(
     *,
     admission: AdmissionPolicy,
     score_threshold: float,
+    trace=None,
 ) -> list[Selection]:
     """Run one batch's admission loop to quiescence and return the admitted
     selections in admission order.
@@ -77,6 +78,11 @@ def drain_engine(
     and the payment-bisection replays both call it, so probe runs replicate
     the real decisions exactly (same tie-breaking, same budget rule, same
     threshold comparison).
+
+    ``trace`` optionally records the drain as a
+    :class:`repro.core.trace.TraceRecorder` run (the caller is responsible
+    for ``begin_path_run``/``finish`` around this call — see
+    :func:`repro.online.payments.batch_critical_values`).
     """
     admitted: list[Selection] = []
     while engine.num_pending and duals.within_budget:
@@ -89,7 +95,11 @@ def drain_engine(
             # winner to the pool and stop this batch.
             engine.requeue(selection)
             break
+        if trace is not None:
+            trace.record_selected(engine, selection)
         engine.commit(selection)
+        if trace is not None:
+            trace.record_committed(engine, duals)
         admitted.append(selection)
     return admitted
 
@@ -117,6 +127,12 @@ class OnlineAuction:
         Charge every admitted request its batch critical value (bisection
         replays per winner — significantly more work per admitted request;
         leave off when only the allocation matters).
+    use_trace:
+        Answer payment-bisection probes by checkpointed trace replay of the
+        batch (one recorded drain per admitting batch, suffix-resume per
+        probe) instead of one full drain per probe; payments are
+        bit-identical either way.  See
+        :func:`repro.online.payments.batch_critical_values`.
     relative_tolerance / absolute_tolerance:
         Bisection tolerances for the payment computation.
     name:
@@ -132,6 +148,7 @@ class OnlineAuction:
         score_threshold: float = 1.0,
         capacity_bound: float | None = None,
         compute_payments: bool = False,
+        use_trace: bool = True,
         relative_tolerance: float = 1e-6,
         absolute_tolerance: float = 1e-9,
         name: str = "online",
@@ -147,6 +164,7 @@ class OnlineAuction:
         self._admission: AdmissionPolicy = admission
         self._threshold = float(score_threshold)
         self._compute_payments = bool(compute_payments)
+        self._use_trace = bool(use_trace)
         self._rel_tol = float(relative_tolerance)
         self._abs_tol = float(absolute_tolerance)
         self._name = str(name)
@@ -281,6 +299,7 @@ class OnlineAuction:
                 score_threshold=self._threshold,
                 relative_tolerance=self._rel_tol,
                 absolute_tolerance=self._abs_tol,
+                use_trace=self._use_trace,
             )
             self._payments.update(payments)
             events = [

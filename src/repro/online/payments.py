@@ -24,9 +24,10 @@ from typing import Sequence
 
 from repro.core.dual_state import DualWeights
 from repro.core.pricing_engine import PathPricingEngine
+from repro.core.trace import TraceRecorder, TraceReplayer
 from repro.flows.request import Request
 from repro.graphs.graph import CapacitatedGraph
-from repro.mechanism.payments import _bisect_critical_value
+from repro.mechanism.payments import _bisect_critical_value, _trace_critical_value_ufp
 
 __all__ = ["batch_critical_values"]
 
@@ -42,6 +43,7 @@ def batch_critical_values(
     relative_tolerance: float = 1e-6,
     absolute_tolerance: float = 1e-9,
     max_iterations: int = 60,
+    use_trace: bool = True,
 ) -> dict[int, float]:
     """Critical values for the winners of one online batch.
 
@@ -68,6 +70,14 @@ def batch_critical_values(
         Global indices the live run admitted in this batch.
     admission / score_threshold:
         The live run's admission policy, forwarded to the replay.
+    use_trace:
+        Replay the batch once with trace recording (one extra drain — the
+        same cost every probe used to pay) and answer the bisection probes
+        by suffix-resume from each probe's divergence round instead of a
+        full drain per probe; see :mod:`repro.core.trace`.  Payments are
+        bit-identical either way.  Under the ``"threshold"`` policy the
+        recorded admission score additionally certifies a sound
+        not-admitted-below bound, answering the deep-low probes for free.
 
     Returns
     -------
@@ -84,6 +94,29 @@ def batch_critical_values(
     # each probe restores it to the snapshot in place (np.copyto into the
     # existing buffer) instead of allocating a fresh weight copy.
     scratch = snapshot.copy()
+
+    if use_trace:
+        replayer = _record_batch(
+            graph,
+            snapshot,
+            scratch,
+            requests,
+            [local_of[index] for index in admitted],
+            admission=admission,
+            score_threshold=score_threshold,
+        )
+        if replayer is not None:
+            payments: dict[int, float] = {}
+            for index in admitted:
+                local_index = local_of[index]
+                payments[index] = _trace_critical_value_ufp(
+                    replayer,
+                    local_index,
+                    relative_tolerance=relative_tolerance,
+                    absolute_tolerance=absolute_tolerance,
+                    max_iterations=max_iterations,
+                )
+            return payments
 
     def admits(local_index: int, value: float) -> bool:
         probe_requests = list(requests)
@@ -128,3 +161,55 @@ def batch_critical_values(
             known_selected=True,
         )
     return payments
+
+
+def _record_batch(
+    graph: CapacitatedGraph,
+    snapshot: DualWeights,
+    scratch: DualWeights,
+    requests: Sequence[Request],
+    admitted_local: Sequence[int],
+    *,
+    admission: str,
+    score_threshold: float,
+) -> TraceReplayer | None:
+    """Replay the batch once from the snapshot with trace recording.
+
+    The recorded drain must reproduce the live run's admissions (same
+    deterministic loop from the same state); the admitted local indices are
+    checked and ``None`` is returned on any mismatch so the caller falls
+    back to from-scratch probe drains instead of mispricing.
+    """
+    scratch.restore_from(snapshot)
+    engine = PathPricingEngine(
+        graph,
+        requests,
+        scratch,
+        tie_tolerance=1e-15,
+        index_tie_break=True,
+        remove_selected=True,
+    )
+    recorder = TraceRecorder()
+    recorder.begin_path_run(
+        mode="drain",
+        engine=engine,
+        duals=scratch,
+        epsilon=scratch.epsilon,
+        iteration_cap=None,
+        requests=requests,
+        admission=admission,
+        score_threshold=score_threshold,
+    )
+    from repro.online.auction import drain_engine
+
+    selections = drain_engine(
+        engine,
+        scratch,
+        admission=admission,  # type: ignore[arg-type]
+        score_threshold=score_threshold,
+        trace=recorder,
+    )
+    recorder.finish(engine, scratch, stopped_by_budget=not scratch.within_budget)
+    if [selection.index for selection in selections] != list(admitted_local):
+        return None  # pragma: no cover - deterministic replay reproduces live
+    return TraceReplayer(recorder.trace)

@@ -62,8 +62,8 @@ def test_normalize_still_catches_single_regression():
 def test_main_against_committed_baseline(tmp_path, capsys):
     """End to end: the committed baseline compared against itself passes, and
     a doubled copy fails."""
-    baseline = _GATE_PATH.parent / "BENCH_PR3.json"
-    assert baseline.exists(), "committed BENCH_PR3.json baseline missing"
+    baseline = _GATE_PATH.parent / "BENCH_PR4.json"
+    assert baseline.exists(), "committed BENCH_PR4.json baseline missing"
     assert compare_bench.main([str(baseline), str(baseline)]) == 0
 
     doubled = json.loads(baseline.read_text())

@@ -391,3 +391,65 @@ class TestStreamingEngineAPI:
         assert (first.index, first.score, first.edge_ids) == (
             again.index, again.score, again.edge_ids
         )
+
+
+# --------------------------------------------------------------------- #
+# Tree-memo LRU: the substrate_cache stays bounded (PR 4)
+# --------------------------------------------------------------------- #
+class TestTreeMemoLRU:
+    def test_lru_cap_and_counters(self):
+        from repro.core.pricing_engine import _TreeMemoLRU
+
+        memo = _TreeMemoLRU(3)
+        assert memo.get("a") is None and memo.misses == 1
+        for key in ("a", "b", "c"):
+            assert memo.put(key, key.upper()) is False
+        assert len(memo) == 3
+        assert memo.get("a") == "A" and memo.hits == 1
+        # "b" is now least-recently-used; inserting "d" evicts it.
+        assert memo.put("d", "D") is True
+        assert memo.evictions == 1
+        assert memo.get("b") is None
+        assert memo.get("a") == "A" and memo.get("d") == "D"
+        memo.clear()
+        assert len(memo) == 0 and not memo
+
+    def test_long_fuzz_runs_stay_under_the_cap(self, monkeypatch):
+        import repro.core.pricing_engine as pe
+        from functools import partial
+        from repro.core.pricing_engine import _TREE_MEMO_KEY
+
+        # Shrink the memory budget so the derived cap bottoms out at 8
+        # entries, then push hundreds of distinct weight vectors through
+        # one graph's memo via payment bisections.
+        monkeypatch.setattr(pe, "_TREE_MEMO_BUDGET_BYTES", 1)
+        instance = random_instance(
+            num_vertices=10, edge_probability=0.3, capacity=12.0,
+            num_requests=40, demand_range=(0.5, 1.0), seed=17,
+        )
+        allocation = bounded_ufp(instance, 0.4)
+        assert allocation.num_selected > 5
+        payments = compute_ufp_payments(
+            partial(bounded_ufp, epsilon=0.4), instance, allocation
+        )
+        memo = instance.graph.substrate_cache[_TREE_MEMO_KEY]
+        assert memo.cap == 8
+        assert len(memo) <= memo.cap
+        assert memo.evictions > 0
+        assert np.all(payments >= 0.0)
+
+    def test_engine_stats_surface_memo_counters(self):
+        instance = random_instance(
+            num_vertices=9, edge_probability=0.3, capacity=15.0,
+            num_requests=20, demand_range=(0.4, 1.0), seed=23,
+        )
+        allocation = bounded_ufp(instance, 0.4)
+        extra = allocation.stats.extra
+        assert "pricing_memo_misses" in extra
+        assert "pricing_memo_evictions" in extra
+        # A second run warm-starts from the shared memo: fewer misses.
+        again = bounded_ufp(instance, 0.4)
+        assert (
+            again.stats.extra["pricing_memo_misses"]
+            <= extra["pricing_memo_misses"]
+        )
