@@ -110,6 +110,31 @@ def test_gate_e9_cell(benchmark, jobs):
     assert result.all_claims_hold
 
 
+def test_gate_campaign_cell_small(benchmark):
+    """One small scenario-campaign cell end to end (PR 5): topology build,
+    regime resolution, offline Bounded-UFP clearing and the LP bound."""
+    from repro.scenarios import enumerate_cells, run_cell
+
+    suite = {
+        "name": "bench",
+        "seed": 17,
+        "topologies": [{"name": "wan", "family": "waxman", "num_vertices": 16}],
+        "regimes": [
+            {
+                "name": "stress",
+                "capacity": {"scale_log_m": 3.0, "min": 2.0},
+                "num_requests": 30,
+            }
+        ],
+        "modes": [{"name": "offline", "kind": "offline", "bound": "lp"}],
+    }
+    (cell,) = enumerate_cells(suite)
+
+    outcome = benchmark.pedantic(lambda: run_cell(cell), rounds=3, iterations=1)
+    record = outcome.rows[0]
+    assert record["claims_ok"] and record["admitted"] > 0
+
+
 def test_gate_e10_online_batch(benchmark):
     """One bursty stream through the online auction (the E10 hot path)."""
     instance = random_instance(

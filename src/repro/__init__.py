@@ -26,7 +26,18 @@ True
 True
 """
 
-from repro import auctions, baselines, core, flows, fractional, graphs, lp, mechanism, online
+from repro import (
+    auctions,
+    baselines,
+    core,
+    flows,
+    fractional,
+    graphs,
+    lp,
+    mechanism,
+    online,
+    scenarios,
+)
 from repro.auctions import Bid, MUCAAllocation, MUCAInstance
 from repro.core import bounded_muca, bounded_ufp, bounded_ufp_repeat
 from repro.exceptions import ReproError
@@ -51,6 +62,7 @@ __all__ = [
     "baselines",
     "fractional",
     "online",
+    "scenarios",
     # Most-used types and entry points
     "CapacitatedGraph",
     "Request",

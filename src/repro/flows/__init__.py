@@ -14,6 +14,7 @@ from repro.flows.allocation import Allocation, RoutedRequest, edge_loads
 from repro.flows.streaming import AdmissionEvent, StreamingAllocation
 from repro.flows.generators import (
     random_requests,
+    mixed_random_requests,
     random_instance,
     hotspot_instance,
     staircase_instance,
@@ -31,6 +32,7 @@ __all__ = [
     "AdmissionEvent",
     "StreamingAllocation",
     "random_requests",
+    "mixed_random_requests",
     "random_instance",
     "hotspot_instance",
     "staircase_instance",

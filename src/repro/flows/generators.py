@@ -30,6 +30,7 @@ from repro.utils.prng import ensure_rng
 
 __all__ = [
     "random_requests",
+    "mixed_random_requests",
     "random_instance",
     "hotspot_instance",
     "staircase_instance",
@@ -96,6 +97,74 @@ def random_requests(
             v = float(rng.uniform(v_lo, v_hi))
         requests.append(Request(s, t, d, v, name=f"r{len(requests)}"))
     return requests
+
+
+def mixed_random_requests(
+    graph: CapacitatedGraph,
+    num_requests: int,
+    groups: Sequence[dict],
+    *,
+    seed: int | np.random.Generator | None = None,
+    sources: Sequence[int] | None = None,
+    targets: Sequence[int] | None = None,
+) -> list[Request]:
+    """Draw a heterogeneous request mix: several bidder populations at once.
+
+    Each group dict describes one population::
+
+        {"fraction": 0.8, "demand_range": [0.05, 0.2],
+         "value_range": [0.5, 1.5],
+         "value_proportional_to_demand": True}   # last two optional
+
+    ``fraction`` values are normalized and converted to per-group counts by
+    largest remainder, so the counts always sum to ``num_requests``.  Groups
+    are drawn in order from one shared rng stream (deterministic per the
+    library seed contract) and the returned list keeps the group blocks in
+    order, renamed ``r0 .. r{n-1}``; feed it to an arrival process for a
+    shuffled order.
+
+    This is the "heterogeneous bid mix" regime of the scenario campaigns:
+    e.g. many small cheap flows plus a few elephant flows with high values,
+    which stresses the mechanism differently from a uniform population.
+    """
+    if num_requests < 0:
+        raise InvalidInstanceError("num_requests must be non-negative")
+    if not groups:
+        raise InvalidInstanceError("mixed_random_requests needs at least one group")
+    fractions = [float(group.get("fraction", 1.0)) for group in groups]
+    if any(f < 0 for f in fractions) or sum(fractions) <= 0:
+        raise InvalidInstanceError("group fractions must be non-negative, sum > 0")
+    total = sum(fractions)
+
+    # Largest-remainder apportionment of num_requests over the groups.
+    quotas = [f / total * num_requests for f in fractions]
+    counts = [int(q) for q in quotas]
+    remainders = sorted(
+        range(len(groups)), key=lambda i: (quotas[i] - counts[i], -i), reverse=True
+    )
+    for i in remainders[: num_requests - sum(counts)]:
+        counts[i] += 1
+
+    rng = ensure_rng(seed)
+    requests: list[Request] = []
+    for group, count in zip(groups, counts):
+        block = random_requests(
+            graph,
+            count,
+            demand_range=tuple(group.get("demand_range", (0.1, 1.0))),
+            value_range=tuple(group.get("value_range", (0.5, 2.0))),
+            value_proportional_to_demand=bool(
+                group.get("value_proportional_to_demand", False)
+            ),
+            seed=rng,
+            sources=sources,
+            targets=targets,
+        )
+        requests.extend(block)
+    return [
+        Request(r.source, r.target, r.demand, r.value, name=f"r{i}")
+        for i, r in enumerate(requests)
+    ]
 
 
 def random_instance(

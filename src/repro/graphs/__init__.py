@@ -42,6 +42,12 @@ from repro.graphs.generators import (
     grid_graph,
     ring_graph,
     isp_topology,
+    fat_tree_topology,
+    fat_tree_host_range,
+    waxman_graph,
+    barabasi_albert_graph,
+    multi_region_topology,
+    multi_region_leaves,
     from_networkx,
     to_networkx,
 )
@@ -74,6 +80,12 @@ __all__ = [
     "grid_graph",
     "ring_graph",
     "isp_topology",
+    "fat_tree_topology",
+    "fat_tree_host_range",
+    "waxman_graph",
+    "barabasi_albert_graph",
+    "multi_region_topology",
+    "multi_region_leaves",
     "from_networkx",
     "to_networkx",
     "directed_staircase",

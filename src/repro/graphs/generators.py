@@ -20,6 +20,7 @@ every generator.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import networkx as nx
@@ -35,6 +36,12 @@ __all__ = [
     "grid_graph",
     "ring_graph",
     "isp_topology",
+    "fat_tree_topology",
+    "fat_tree_host_range",
+    "waxman_graph",
+    "barabasi_albert_graph",
+    "multi_region_topology",
+    "multi_region_leaves",
     "from_networkx",
     "to_networkx",
 ]
@@ -55,6 +62,22 @@ def _capacity_array(
     if value <= 0:
         raise InvalidInstanceError("capacity must be positive")
     return np.full(count, value, dtype=np.float64)
+
+
+def _require_edges(edges: Sequence, generator: str) -> None:
+    """Reject edge-less outputs at construction time.
+
+    An edge-less graph is useless to every downstream consumer (the dual
+    state needs ``min_e c_e``, solvers need at least one routable path) and
+    used to surface only as an unhelpful numpy error deep inside them; the
+    generators fail fast with an actionable message instead.
+    """
+    if not edges:
+        raise InvalidInstanceError(
+            f"{generator} produced a graph with no edges; increase the size "
+            "parameters or the edge probability (every generated topology "
+            "must have at least one edge)"
+        )
 
 
 def random_digraph(
@@ -107,6 +130,7 @@ def random_digraph(
             existing.add(pair)
             edges.append(pair)
 
+    _require_edges(edges, "random_digraph")
     caps = _capacity_array(rng, len(edges), capacity)
     return CapacitatedGraph(
         num_vertices,
@@ -155,6 +179,7 @@ def random_graph(
             existing.add(key)
             edges.append(key)
 
+    _require_edges(edges, "random_graph")
     caps = _capacity_array(rng, len(edges), capacity)
     return CapacitatedGraph(
         num_vertices,
@@ -178,6 +203,12 @@ def grid_graph(
     """
     if rows < 1 or cols < 1:
         raise InvalidInstanceError("grid dimensions must be positive")
+    if rows * cols < 2:
+        # A 1x1 grid has one vertex and no edges; nothing downstream can use
+        # it, so reject it here with a clear message.
+        raise InvalidInstanceError(
+            "a 1x1 grid has no edges; grids need at least 2 vertices"
+        )
     rng = ensure_rng(seed)
     undirected_edges: list[tuple[int, int]] = []
     for i in range(rows):
@@ -262,6 +293,303 @@ def isp_topology(
                 edges.append((core, next_vertex, float(access_capacity)))
             next_vertex += 1
     return CapacitatedGraph(next_vertex, edges, directed=directed)
+
+
+def fat_tree_topology(
+    k: int,
+    core_capacity: float | tuple[float, float],
+    aggregation_capacity: float | tuple[float, float],
+    edge_capacity: float | tuple[float, float],
+    *,
+    hosts_per_edge: int | None = None,
+    host_capacity: float | tuple[float, float] | None = None,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+) -> CapacitatedGraph:
+    """A ``k``-ary fat-tree (Clos) datacenter topology.
+
+    The standard three-tier layout: ``(k/2)^2`` core switches; ``k`` pods of
+    ``k/2`` aggregation and ``k/2`` edge switches each; aggregation switch
+    ``i`` of every pod uplinks to core group ``i`` (cores
+    ``i*k/2 .. i*k/2 + k/2 - 1``), aggregation and edge switches of one pod
+    form a complete bipartite graph, and each edge switch serves
+    ``hosts_per_edge`` hosts (default ``k/2``, the canonical fat-tree).
+
+    Vertex layout (contiguous id blocks, documented because request
+    generators want the host block): cores ``0 .. (k/2)^2 - 1``, then per
+    pod ``k/2`` aggregation followed by ``k/2`` edge switches, then all
+    hosts — ``fat_tree_host_range(k, hosts_per_edge)`` returns the host ids.
+
+    Capacities per tier are constants or ``(low, high)`` ranges drawn in a
+    fixed order (core uplinks, pod-internal links, host links); with all
+    tiers constant no randomness is consumed, so a shared ``seed``
+    generator passes through unperturbed (like :func:`ring_graph`).
+    """
+    if k < 2 or k % 2 != 0:
+        raise InvalidInstanceError("fat-tree arity k must be an even integer >= 2")
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+    if hosts_per_edge < 0:
+        raise InvalidInstanceError("hosts_per_edge must be non-negative")
+
+    num_core = half * half
+    agg_of = lambda pod, i: num_core + pod * k + i  # noqa: E731
+    edge_of = lambda pod, j: num_core + pod * k + half + j  # noqa: E731
+    num_switches = num_core + k * k
+
+    core_links: list[tuple[int, int]] = []
+    pod_links: list[tuple[int, int]] = []
+    host_links: list[tuple[int, int]] = []
+    for pod in range(k):
+        for i in range(half):
+            for c in range(half):
+                core_links.append((i * half + c, agg_of(pod, i)))
+        for i in range(half):
+            for j in range(half):
+                pod_links.append((agg_of(pod, i), edge_of(pod, j)))
+    next_host = num_switches
+    for pod in range(k):
+        for j in range(half):
+            for _ in range(hosts_per_edge):
+                host_links.append((edge_of(pod, j), next_host))
+                next_host += 1
+
+    rng = ensure_rng(seed)
+    groups = [
+        (core_links, core_capacity),
+        (pod_links, aggregation_capacity),
+        (host_links, edge_capacity if host_capacity is None else host_capacity),
+    ]
+    edges: list[tuple[int, int, float]] = []
+    for pairs, capacity in groups:
+        caps = _capacity_array(rng, len(pairs), capacity)
+        for (u, v), c in zip(pairs, caps):
+            edges.append((u, v, float(c)))
+            if directed:
+                edges.append((v, u, float(c)))
+    return CapacitatedGraph(next_host, edges, directed=directed)
+
+
+def fat_tree_host_range(k: int, hosts_per_edge: int | None = None) -> range:
+    """The host vertex ids of ``fat_tree_topology(k, ...)`` (empty when the
+    tree was built with ``hosts_per_edge=0``)."""
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+    num_switches = half * half + k * k
+    return range(num_switches, num_switches + k * half * hosts_per_edge)
+
+
+def waxman_graph(
+    num_vertices: int,
+    capacity: float | tuple[float, float],
+    *,
+    alpha: float = 0.6,
+    beta: float = 0.4,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+    ensure_connected: bool = True,
+) -> CapacitatedGraph:
+    """A Waxman random geometric graph (the classic WAN/ISP model).
+
+    Vertices are placed uniformly in the unit square and each pair ``(u, v)``
+    becomes an edge with probability ``alpha * exp(-d(u, v) / (beta * L))``
+    where ``d`` is the Euclidean distance and ``L = sqrt(2)`` the diameter
+    of the square — nearby routers are much more likely to be linked, which
+    is why Waxman graphs are the standard synthetic wide-area topology.
+
+    Draw order under one ``seed`` (fixed for reproducibility): positions,
+    the connectivity cycle permutation (when ``ensure_connected``), the
+    pairwise coin flips, the capacities.
+    """
+    if num_vertices < 2:
+        raise InvalidInstanceError("waxman_graph needs at least 2 vertices")
+    if not 0.0 < alpha <= 1.0:
+        raise InvalidInstanceError("alpha must lie in (0, 1]")
+    if beta <= 0.0:
+        raise InvalidInstanceError("beta must be positive")
+    rng = ensure_rng(seed)
+
+    positions = rng.random((num_vertices, 2))
+    existing: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+    if ensure_connected:
+        perm = rng.permutation(num_vertices)
+        for i in range(num_vertices):
+            u = int(perm[i])
+            v = int(perm[(i + 1) % num_vertices])
+            key = (u, v) if directed else (min(u, v), max(u, v))
+            if key not in existing:
+                existing.add(key)
+                edges.append(key)
+
+    diffs = positions[:, None, :] - positions[None, :, :]
+    distances = np.sqrt((diffs * diffs).sum(axis=2))
+    prob = alpha * np.exp(-distances / (beta * math.sqrt(2.0)))
+    mask = rng.random((num_vertices, num_vertices)) < prob
+    np.fill_diagonal(mask, False)
+    if directed:
+        candidates = zip(*np.nonzero(mask))
+    else:
+        iu = np.triu_indices(num_vertices, k=1)
+        candidates = zip(iu[0][mask[iu]], iu[1][mask[iu]])
+    for u, v in candidates:
+        key = (int(u), int(v))
+        if key not in existing:
+            existing.add(key)
+            edges.append(key)
+
+    _require_edges(edges, "waxman_graph")
+    caps = _capacity_array(rng, len(edges), capacity)
+    return CapacitatedGraph(
+        num_vertices,
+        [(u, v, float(c)) for (u, v), c in zip(edges, caps)],
+        directed=directed,
+    )
+
+
+def barabasi_albert_graph(
+    num_vertices: int,
+    attachments: int,
+    capacity: float | tuple[float, float],
+    *,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+) -> CapacitatedGraph:
+    """A Barabási–Albert preferential-attachment scale-free graph.
+
+    Growth starts from ``attachments`` isolated vertices; every subsequent
+    vertex attaches to ``attachments`` distinct existing vertices chosen
+    proportionally to their current degree (the first newcomer links to all
+    initial vertices).  The result has hub vertices with very high degree —
+    the contention pattern of internet-like networks, where a few transit
+    links carry most paths.
+
+    When ``directed`` is True every attachment becomes two opposite arcs
+    (full-duplex), each with its own capacity draw.
+    """
+    if attachments < 1:
+        raise InvalidInstanceError("attachments must be at least 1")
+    if num_vertices <= attachments:
+        raise InvalidInstanceError(
+            "num_vertices must exceed attachments (the initial vertex block)"
+        )
+    rng = ensure_rng(seed)
+
+    pairs: list[tuple[int, int]] = []
+    # One entry per edge endpoint: sampling it uniformly is sampling
+    # vertices proportionally to degree.
+    endpoint_pool: list[int] = []
+    for v in range(attachments, num_vertices):
+        if v == attachments:
+            targets = list(range(attachments))
+        else:
+            targets_set: set[int] = set()
+            while len(targets_set) < attachments:
+                targets_set.add(endpoint_pool[int(rng.integers(len(endpoint_pool)))])
+            targets = sorted(targets_set)
+        for t in targets:
+            pairs.append((t, v))
+            endpoint_pool.append(t)
+            endpoint_pool.append(v)
+
+    if directed:
+        arc_pairs = [pair for u, v in pairs for pair in ((u, v), (v, u))]
+    else:
+        arc_pairs = pairs
+    caps = _capacity_array(rng, len(arc_pairs), capacity)
+    return CapacitatedGraph(
+        num_vertices,
+        [(u, v, float(c)) for (u, v), c in zip(arc_pairs, caps)],
+        directed=directed,
+    )
+
+
+def multi_region_topology(
+    num_regions: int,
+    cores_per_region: int,
+    leaves_per_core: int,
+    backbone_capacity: float | tuple[float, float],
+    core_capacity: float | tuple[float, float],
+    access_capacity: float | tuple[float, float],
+    *,
+    interlinks_per_pair: int = 1,
+    seed: int | np.random.Generator | None = None,
+    directed: bool = False,
+) -> CapacitatedGraph:
+    """A multi-region ISP composite: per-region cores + leaves, random
+    inter-region backbone links.
+
+    Every region is a two-level ISP topology (complete core graph on
+    ``cores_per_region`` vertices, ``leaves_per_core`` access leaves per
+    core); regions are stitched together by ``interlinks_per_pair``
+    backbone links per region pair, each between one random core vertex of
+    either region.  Vertex layout: region ``r`` occupies the contiguous
+    block starting at ``r * (cores_per_region * (1 + leaves_per_core))``,
+    cores first — :func:`multi_region_leaves` returns the access-leaf ids.
+
+    Draw order under one ``seed``: backbone endpoints (all pairs, in region
+    order), then capacities (backbone, core, access).
+    """
+    if num_regions < 2:
+        raise InvalidInstanceError("need at least 2 regions")
+    if cores_per_region < 1:
+        raise InvalidInstanceError("need at least 1 core vertex per region")
+    if leaves_per_core < 0:
+        raise InvalidInstanceError("leaves_per_core must be non-negative")
+    if interlinks_per_pair < 1:
+        raise InvalidInstanceError("interlinks_per_pair must be at least 1")
+    rng = ensure_rng(seed)
+    block = cores_per_region * (1 + leaves_per_core)
+
+    backbone_pairs: list[tuple[int, int]] = []
+    for r in range(num_regions):
+        for s in range(r + 1, num_regions):
+            for _ in range(interlinks_per_pair):
+                u = r * block + int(rng.integers(cores_per_region))
+                v = s * block + int(rng.integers(cores_per_region))
+                backbone_pairs.append((u, v))
+
+    core_pairs: list[tuple[int, int]] = []
+    access_pairs: list[tuple[int, int]] = []
+    for r in range(num_regions):
+        base = r * block
+        for u in range(cores_per_region):
+            for v in range(u + 1, cores_per_region):
+                core_pairs.append((base + u, base + v))
+        next_leaf = base + cores_per_region
+        for core in range(cores_per_region):
+            for _ in range(leaves_per_core):
+                access_pairs.append((next_leaf, base + core))
+                next_leaf += 1
+
+    edges: list[tuple[int, int, float]] = []
+    groups = [
+        (backbone_pairs, backbone_capacity),
+        (core_pairs, core_capacity),
+        (access_pairs, access_capacity),
+    ]
+    for pairs, capacity in groups:
+        caps = _capacity_array(rng, len(pairs), capacity)
+        for (u, v), c in zip(pairs, caps):
+            edges.append((u, v, float(c)))
+            if directed:
+                edges.append((v, u, float(c)))
+    return CapacitatedGraph(num_regions * block, edges, directed=directed)
+
+
+def multi_region_leaves(
+    num_regions: int, cores_per_region: int, leaves_per_core: int
+) -> list[int]:
+    """The access-leaf vertex ids of the matching
+    :func:`multi_region_topology` call (request terminal pool)."""
+    block = cores_per_region * (1 + leaves_per_core)
+    leaves: list[int] = []
+    for r in range(num_regions):
+        start = r * block + cores_per_region
+        leaves.extend(range(start, start + cores_per_region * leaves_per_core))
+    return leaves
 
 
 # ---------------------------------------------------------------------- #

@@ -428,6 +428,19 @@ def set_backend(name: str):
     return _active_backend
 
 
+def set_backend_from_cli(name: str, parser) -> None:
+    """:func:`set_backend` with argparse-friendly error reporting.
+
+    Shared by the experiments and scenarios CLIs' ``--backend`` flags: an
+    explicit argument always beats an inherited ``REPRO_SP_BACKEND``; an
+    unknown or unavailable backend exits via ``parser.error``.
+    """
+    try:
+        set_backend(name)
+    except (KeyError, ImportError) as exc:
+        parser.error(str(exc))
+
+
 @contextmanager
 def use_backend(name: str):
     """Context manager form of :func:`set_backend` (restores the previous

@@ -14,11 +14,28 @@ human-readable JSON schema for the three core object kinds:
 
 The schema is versioned (``"schema"`` field) so future format changes can be
 detected instead of mis-parsed.
+
+Non-finite floats
+-----------------
+Metric payloads legitimately contain ``inf``/``nan`` —
+:func:`repro.experiments.harness.ratio` returns ``math.inf`` when nothing
+was achieved, and several experiment columns use ``nan`` for "not
+measured".  Python's ``json.dumps`` emits the non-standard ``Infinity`` /
+``NaN`` tokens for them, which strict JSON parsers (and most other
+languages) reject.  Every file this module (and the
+:mod:`repro.scenarios` result store) writes therefore encodes non-finite
+floats as the sentinel strings :data:`INF_SENTINEL` /
+:data:`NEG_INF_SENTINEL` / :data:`NAN_SENTINEL` via
+:func:`encode_nonfinite`, serializes with ``allow_nan=False`` (so a leak
+is an error, not a malformed file), and decodes them back on load.  The
+sentinel strings are reserved: a user string equal to one of them would
+decode as the float.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -34,6 +51,14 @@ from repro.graphs.graph import CapacitatedGraph
 
 __all__ = [
     "SCHEMA_VERSION",
+    "INF_SENTINEL",
+    "NEG_INF_SENTINEL",
+    "NAN_SENTINEL",
+    "encode_nonfinite",
+    "decode_nonfinite",
+    "dumps_strict",
+    "dumps_canonical",
+    "loads_strict",
     "ufp_instance_to_dict",
     "ufp_instance_from_dict",
     "muca_instance_to_dict",
@@ -47,6 +72,65 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
+
+#: Sentinel strings standing in for non-finite floats in serialized JSON.
+INF_SENTINEL = "__repro_inf__"
+NEG_INF_SENTINEL = "__repro_-inf__"
+NAN_SENTINEL = "__repro_nan__"
+
+_SENTINEL_TO_FLOAT = {
+    INF_SENTINEL: math.inf,
+    NEG_INF_SENTINEL: -math.inf,
+    NAN_SENTINEL: math.nan,
+}
+
+
+def encode_nonfinite(value: Any) -> Any:
+    """Recursively replace non-finite floats with their sentinel strings.
+
+    Containers (dicts, lists, tuples) are rebuilt; everything else passes
+    through untouched, so the result serializes with ``allow_nan=False``.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return NAN_SENTINEL
+        if math.isinf(value):
+            return INF_SENTINEL if value > 0 else NEG_INF_SENTINEL
+        return value
+    if isinstance(value, dict):
+        return {k: encode_nonfinite(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_nonfinite(v) for v in value]
+    return value
+
+
+def decode_nonfinite(value: Any) -> Any:
+    """Invert :func:`encode_nonfinite` (sentinel strings become floats)."""
+    if isinstance(value, str):
+        return _SENTINEL_TO_FLOAT.get(value, value)
+    if isinstance(value, dict):
+        return {k: decode_nonfinite(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_nonfinite(v) for v in value]
+    return value
+
+
+def dumps_strict(payload: Any, **kwargs: Any) -> str:
+    """``json.dumps`` with non-finite floats sentinel-encoded and
+    ``allow_nan=False`` — the output never contains the non-standard
+    ``Infinity``/``NaN`` tokens."""
+    return json.dumps(encode_nonfinite(payload), allow_nan=False, **kwargs)
+
+
+def dumps_canonical(payload: Any) -> str:
+    """Canonical strict JSON (sorted keys, minimal separators) — the form
+    the scenario result store hashes, so hashes are layout-independent."""
+    return dumps_strict(payload, sort_keys=True, separators=(",", ":"))
+
+
+def loads_strict(text: str) -> Any:
+    """``json.loads`` plus :func:`decode_nonfinite` on the result."""
+    return decode_nonfinite(json.loads(text))
 
 
 # ---------------------------------------------------------------------- #
@@ -220,13 +304,13 @@ def save_json(obj: UFPInstance | MUCAInstance | Allocation | MUCAAllocation,
     else:
         raise TypeError(f"cannot serialize objects of type {type(obj)!r}")
     path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=False))
+    path.write_text(dumps_strict(payload, indent=2, sort_keys=False))
     return path
 
 
 def load_json(path: str | Path) -> UFPInstance | MUCAInstance | Allocation | MUCAAllocation:
     """Load any supported object previously written by :func:`save_json`."""
-    payload = json.loads(Path(path).read_text())
+    payload = loads_strict(Path(path).read_text())
     kind = payload.get("kind")
     if kind not in _DESERIALIZERS:
         raise InvalidInstanceError(f"unknown or missing object kind {kind!r} in {path}")

@@ -146,12 +146,26 @@ def _fork_child_init() -> None:
     _IN_WORKER = True
 
 
-def _spawn_child_init(fn: Callable[..., Any], payload: Any) -> None:
-    """Initializer for spawn/forkserver workers: install the pickled state."""
+def _spawn_child_init(
+    fn: Callable[..., Any], payload: Any, backend_name: str | None
+) -> None:
+    """Initializer for spawn/forkserver workers: install the pickled state.
+
+    The parent's resolved shortest-path backend is installed explicitly so
+    an inherited ``REPRO_SP_BACKEND`` environment variable can never
+    override a backend the caller selected programmatically (fork workers
+    inherit the resolved backend object and need no such step)."""
     global _WORKER_FN, _WORKER_PAYLOAD, _IN_WORKER
     _WORKER_FN = fn
     _WORKER_PAYLOAD = payload
     _IN_WORKER = True
+    if backend_name is not None:  # pragma: no cover - non-fork platforms only
+        from repro.graphs import shortest_path
+
+        try:
+            shortest_path.set_backend(backend_name)
+        except (KeyError, ImportError):
+            pass
 
 
 def _invoke(task: Any) -> Any:
@@ -222,6 +236,16 @@ def pmap(
             )
             return pmap(fn, tasks, jobs=1, payload=payload)
 
+    # Resolve the shortest-path backend in the parent before any worker
+    # exists: fork children then inherit the parent's (possibly explicit)
+    # choice instead of each re-resolving REPRO_SP_BACKEND, and spawn
+    # children are handed the resolved name.  Explicit `set_backend()` /
+    # `--backend` selections therefore always beat inherited env vars
+    # inside workers.
+    from repro.graphs.shortest_path import get_backend
+
+    backend_name = get_backend().name
+
     prev_fn, prev_payload = _WORKER_FN, _WORKER_PAYLOAD
     _WORKER_FN, _WORKER_PAYLOAD = fn, payload
     try:
@@ -236,7 +260,7 @@ def pmap(
                 max_workers=jobs,
                 mp_context=context,
                 initializer=_spawn_child_init,
-                initargs=(fn, payload),
+                initargs=(fn, payload, backend_name),
             )
         with executor:
             return list(executor.map(_invoke, tasks, chunksize=chunk_size))

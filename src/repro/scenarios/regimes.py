@@ -1,0 +1,169 @@
+"""Demand regimes: capacity ladders, adversarial tiny capacity, bid mixes.
+
+A regime spec resolves, for one topology, into a concrete
+:class:`~repro.flows.instance.UFPInstance`: it decides the base capacity
+``B`` the topology is built with and the request population routed over it.
+
+Capacity forms (the ``"capacity"`` key)::
+
+    8.0                                   # absolute B
+    {"scale_log_m": 4.0, "min": 2.0}      # B = max(min, scale * ln m)
+    {"value": 8.0}                        # absolute, spelled out
+
+``scale_log_m`` is the paper's regime dial: Theorems 3.1/4.1 need
+``B >= ln(m) / eps^2``, so sweeping the scale across ``[0.5 .. 8]`` walks
+an instance from the adversarial tiny-capacity regime (where the
+``e/(e-1)`` guarantee does not apply) into the large-capacity regime
+(where it must hold).  Because ``m`` is only known once the topology
+exists, resolution builds the topology twice with identical rng streams —
+once with a probe capacity to count edges, once with the resolved ``B`` —
+which is cheap and bit-deterministic (capacity values never influence
+which edges a generator creates or how many rng draws it makes).
+
+Request forms: ``num_requests`` is absolute or ``{"per_vertex": x}``;
+``demand_range`` / ``value_range`` / ``value_proportional_to_demand``
+mirror :func:`repro.flows.generators.random_requests`, and an optional
+``"mix"`` list of group dicts routes through
+:func:`repro.flows.generators.mixed_random_requests` (heterogeneous bid
+populations).  Requests draw from an rng stream independent of the
+topology stream, so capacity resolution never shifts the workload.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.flows.generators import mixed_random_requests, random_requests
+from repro.flows.instance import UFPInstance
+from repro.scenarios.specs import CellSpec
+from repro.scenarios.topologies import Topology, build_topology
+
+__all__ = ["resolve_base_capacity", "build_cell_instance"]
+
+# Sub-stream labels: each concern draws from default_rng([seed, label]) so
+# streams never interfere regardless of how much each consumes.  Topology
+# structure draws come from the cell's topology_seed (stable per topology
+# name), request and arrival draws from its workload_seed (stable per
+# topology × regime), so regimes sweep capacity over identical structures
+# and modes clear identical request populations.
+_TOPOLOGY_STREAM = 1
+_REQUEST_STREAM = 2
+ARRIVAL_STREAM = 3
+
+
+def cell_rng(seed: int, stream: int) -> np.random.Generator:
+    """The deterministic rng of one (seed, concern) pair."""
+    return np.random.default_rng([int(seed), int(stream)])
+
+
+def resolve_base_capacity(regime: Mapping[str, Any], num_edges: int) -> float:
+    """Resolve the regime's ``capacity`` entry against an edge count."""
+    spec = regime.get("capacity", 8.0)
+    if isinstance(spec, (int, float)):
+        value = float(spec)
+    elif isinstance(spec, Mapping):
+        if "scale_log_m" in spec:
+            scale = float(spec["scale_log_m"])
+            if scale <= 0:
+                raise InvalidInstanceError("scale_log_m must be positive")
+            value = max(
+                float(spec.get("min", 2.0)), scale * math.log(max(2, num_edges))
+            )
+        elif "value" in spec:
+            value = float(spec["value"])
+        else:
+            raise InvalidInstanceError(
+                f"capacity dict needs 'scale_log_m' or 'value', got {sorted(spec)}"
+            )
+    else:
+        raise InvalidInstanceError(f"unsupported capacity spec {spec!r}")
+    if value <= 0:
+        raise InvalidInstanceError("resolved capacity must be positive")
+    return value
+
+
+def _num_requests(regime: Mapping[str, Any], num_vertices: int) -> int:
+    spec = regime.get("num_requests", 30)
+    if isinstance(spec, Mapping):
+        if "per_vertex" not in spec:
+            raise InvalidInstanceError(
+                f"num_requests dict needs 'per_vertex', got {sorted(spec)}"
+            )
+        return max(1, int(round(float(spec["per_vertex"]) * num_vertices)))
+    count = int(spec)
+    if count < 1:
+        raise InvalidInstanceError("num_requests must be at least 1")
+    return count
+
+
+def build_cell_instance(cell: CellSpec) -> tuple[UFPInstance, Topology, float]:
+    """Materialize one campaign cell's workload.
+
+    Returns ``(instance, topology, base_capacity)``; the instance metadata
+    records the resolved regime (B, m, B/ln m) for the report tables.
+    """
+    regime = cell.regime
+    capacity_spec = regime.get("capacity", 8.0)
+    needs_edge_count = (
+        isinstance(capacity_spec, Mapping) and "scale_log_m" in capacity_spec
+    )
+    if needs_edge_count:
+        probe = build_topology(
+            cell.topology, 1.0, cell_rng(cell.topology_seed, _TOPOLOGY_STREAM)
+        )
+        num_edges = probe.graph.num_edges
+    else:
+        num_edges = 0  # unused
+    base_capacity = resolve_base_capacity(regime, num_edges)
+    topology = build_topology(
+        cell.topology, base_capacity, cell_rng(cell.topology_seed, _TOPOLOGY_STREAM)
+    )
+    graph = topology.graph
+
+    request_rng = cell_rng(cell.workload_seed, _REQUEST_STREAM)
+    count = _num_requests(regime, graph.num_vertices)
+    terminals = topology.terminals
+    if "mix" in regime:
+        requests = mixed_random_requests(
+            graph,
+            count,
+            regime["mix"],
+            seed=request_rng,
+            sources=terminals,
+            targets=terminals,
+        )
+    else:
+        requests = random_requests(
+            graph,
+            count,
+            demand_range=tuple(regime.get("demand_range", (0.1, 1.0))),
+            value_range=tuple(regime.get("value_range", (0.5, 2.0))),
+            value_proportional_to_demand=bool(
+                regime.get("value_proportional_to_demand", False)
+            ),
+            seed=request_rng,
+            sources=terminals,
+            targets=terminals,
+        )
+
+    log_m = math.log(max(2, graph.num_edges))
+    instance = UFPInstance(
+        graph,
+        requests,
+        name=cell.key,
+        metadata={
+            "kind": "scenario-cell",
+            "suite": cell.suite,
+            "cell": cell.key,
+            "family": cell.topology.get("family"),
+            "regime": cell.regime.get("name"),
+            "base_capacity": base_capacity,
+            "num_edges": graph.num_edges,
+            "B_over_log_m": base_capacity / log_m,
+        },
+    )
+    return instance, topology, base_capacity

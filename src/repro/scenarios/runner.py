@@ -1,0 +1,361 @@
+"""The campaign runner: fan cells out, persist each completed cell.
+
+One campaign cell = one topology × regime × mode combination.  The cell
+function materializes the workload (:mod:`repro.scenarios.regimes`), runs
+the mode's solver — offline ``Bounded-UFP``, the repetitions variant, or
+the online streaming auction — and returns a flat, JSON-safe record of
+deterministic metrics (no wall-clock: records must be bit-identical at any
+``jobs``, which is what makes store hashes comparable across runs).
+
+Cells flow through :func:`repro.experiments.harness.map_cells` (and hence
+:func:`repro.parallel.pmap`) in *waves*: after each wave the completed
+cells are committed to the :class:`~repro.scenarios.store.ResultStore` in
+cell order, so a killed campaign resumes from the last committed wave and
+recomputes only what is missing.  Wave size scales with the worker count;
+it changes checkpoint granularity only, never results.
+
+Workload modes (the ``"mode"`` axis):
+
+* ``{"kind": "offline", "epsilon": "auto", "payments": false, "bound": "lp"}``
+  — one sealed-bid ``Bounded-UFP`` clearing; ``epsilon`` is a float or
+  ``"auto"`` (matched to the capacity regime, see ``_resolve_epsilon``);
+  ``payments: true`` adds
+  critical-value payments (trace-replay accelerated) and revenue/replay
+  columns; ``bound: "lp"`` (default) adds the fractional LP optimum and
+  the approximation ratio.
+* ``{"kind": "repeated", ...}`` — ``Bounded-UFP-Repeat`` (Theorem 5.1).
+* ``{"kind": "online", "arrivals": "poisson" | "bursty" | "adversarial" |
+  "trace", "admission": "greedy" | "threshold", "payments": false,
+  "compare_offline": true}`` — the streaming auction of
+  :mod:`repro.online`; ``compare_offline`` also clears the full instance
+  offline and reports the empirical competitive ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Mapping, Sequence
+
+from repro import parallel
+from repro.core.bounded_ufp import bounded_ufp
+from repro.core.bounded_ufp_repeat import bounded_ufp_repeat
+from repro.exceptions import InvalidInstanceError
+from repro.experiments.harness import CellOutcome, map_cells, ratio
+from repro.flows.instance import UFPInstance
+from repro.mechanism.payments import compute_ufp_payments
+from repro.online.arrivals import (
+    adversarial_arrivals,
+    bursty_arrivals,
+    poisson_arrivals,
+    trace_arrivals,
+)
+from repro.online.auction import OnlineAuction
+from repro.scenarios.regimes import ARRIVAL_STREAM, build_cell_instance, cell_rng
+from repro.scenarios.specs import CellSpec, cell_hash, enumerate_cells, normalize_suite
+from repro.scenarios.store import ResultStore
+
+__all__ = ["CampaignResult", "run_cell", "run_campaign"]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign invocation."""
+
+    suite: dict
+    records: dict[str, dict]
+    computed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    invalidated: list[str] = field(default_factory=list)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.records)
+
+    @property
+    def all_cells_ok(self) -> bool:
+        return all(record.get("claims_ok", True) for record in self.records.values())
+
+    def summary_line(self) -> str:
+        return (
+            f"cells: {self.num_cells} total, {len(self.computed)} computed, "
+            f"{len(self.skipped)} skipped"
+            + (f", {len(self.invalidated)} invalidated" if self.invalidated else "")
+        )
+
+
+# ---------------------------------------------------------------------- #
+# One cell
+# ---------------------------------------------------------------------- #
+def _lp_bound(instance: UFPInstance, mode: Mapping[str, Any]) -> float | None:
+    if mode.get("bound", "lp") == "none":
+        return None
+    from repro.lp.fractional_ufp import solve_fractional_ufp
+
+    return float(solve_fractional_ufp(instance).objective)
+
+
+def _resolve_epsilon(mode: Mapping[str, Any], instance: UFPInstance) -> float:
+    """The cell's accuracy parameter.
+
+    ``"auto"`` (the default) matches epsilon to the instance's capacity
+    regime the way the paper does: Theorem 3.1 needs
+    ``B >= ln(m) / eps^2``, so the tightest admissible choice is
+    ``eps = sqrt(ln(m) / B)`` (clamped to ``[0.05, 1]``).  Tiny-capacity
+    adversarial cells then run at ``eps = 1`` (where the guarantee is
+    vacuous but the mechanism still clears) while large-capacity cells get
+    a sharp epsilon — without it, a fixed small epsilon would admit
+    nothing below its regime and the cross-regime comparison would be
+    vacuous.
+    """
+    epsilon = mode.get("epsilon", "auto")
+    if epsilon == "auto":
+        import math as _math
+
+        log_m = _math.log(max(2, instance.graph.num_edges))
+        bound = max(1e-9, float(instance.capacity_bound()))
+        return min(1.0, max(0.05, _math.sqrt(log_m / bound)))
+    return float(epsilon)
+
+
+def _base_record(cell: CellSpec, instance: UFPInstance, base_capacity: float) -> dict:
+    graph = instance.graph
+    meta = instance.metadata
+    return {
+        "key": cell.key,
+        "topology": cell.topology["name"],
+        "family": cell.topology.get("family"),
+        "regime": cell.regime["name"],
+        "mode": cell.mode["name"],
+        "kind": cell.mode["kind"],
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "B": base_capacity,
+        "B_over_log_m": meta.get("B_over_log_m"),
+        "requests": instance.num_requests,
+    }
+
+
+def _offline_metrics(
+    cell: CellSpec, instance: UFPInstance, outcome: CellOutcome
+) -> dict:
+    mode = cell.mode
+    epsilon = _resolve_epsilon(mode, instance)
+    if mode["kind"] == "repeated":
+        solver = partial(bounded_ufp_repeat, epsilon=epsilon)
+    else:
+        solver = partial(bounded_ufp, epsilon=epsilon)
+    allocation = solver(instance)
+    outcome.claim("allocation is feasible", allocation.is_feasible())
+
+    record: dict[str, Any] = {
+        "epsilon": epsilon,
+        "admitted": allocation.num_selected,
+        "value": float(allocation.value),
+        "admission_rate": allocation.num_selected / max(1, instance.num_requests),
+        "stopped_by_budget": bool(allocation.stats.stopped_by_budget),
+        "iterations": int(allocation.stats.iterations),
+    }
+    bound = _lp_bound(instance, mode)
+    if bound is not None:
+        record["bound"] = bound
+        record["ratio"] = ratio(bound, float(allocation.value))
+        outcome.claim(
+            "allocation value is within the fractional LP bound",
+            float(allocation.value) <= bound + 1e-6,
+        )
+    if mode.get("payments"):
+        replay_stats: dict[str, float] = {}
+        payments = compute_ufp_payments(
+            solver,
+            instance,
+            allocation,
+            use_trace=bool(mode.get("use_trace", True)),
+            replay_stats=replay_stats,
+        )
+        values = instance.values_array()
+        outcome.claim(
+            "payments are individually rational",
+            bool((payments <= values + 1e-9).all()),
+        )
+        record["revenue"] = float(payments.sum())
+        record.update({k: float(v) for k, v in replay_stats.items()})
+    return record
+
+
+_ARRIVALS = ("poisson", "bursty", "adversarial", "trace")
+
+
+def _online_metrics(
+    cell: CellSpec, instance: UFPInstance, outcome: CellOutcome
+) -> dict:
+    mode = cell.mode
+    epsilon = _resolve_epsilon(mode, instance)
+    arrivals = mode.get("arrivals", "poisson")
+    if arrivals not in _ARRIVALS:
+        raise InvalidInstanceError(
+            f"unknown arrival process {arrivals!r}; known: {_ARRIVALS}"
+        )
+    arrival_rng = cell_rng(cell.workload_seed, ARRIVAL_STREAM)
+    requests = list(instance.requests)
+    if arrivals == "poisson":
+        stream = poisson_arrivals(
+            requests,
+            rate=float(mode.get("rate", 2.0)),
+            batch_window=float(mode.get("batch_window", 1.0)),
+            seed=arrival_rng,
+        )
+    elif arrivals == "bursty":
+        stream = bursty_arrivals(
+            requests,
+            burst_size=int(mode.get("burst_size", 6)),
+            shuffle=True,
+            seed=arrival_rng,
+        )
+    elif arrivals == "adversarial":
+        stream = adversarial_arrivals(
+            requests, order=str(mode.get("order", "density_ascending"))
+        )
+    else:
+        stream = trace_arrivals(instance, batch_size=int(mode.get("batch_size", 5)))
+
+    auction = OnlineAuction(
+        instance.graph,
+        epsilon,
+        admission=mode.get("admission", "greedy"),
+        score_threshold=float(mode.get("score_threshold", 1.0)),
+        compute_payments=bool(mode.get("payments", False)),
+        name=instance.name,
+    )
+    online = auction.run(stream)
+    outcome.claim("online allocation is feasible", online.is_feasible())
+
+    record: dict[str, Any] = {
+        "epsilon": epsilon,
+        "admitted": online.num_selected,
+        "value": float(online.value),
+        "admission_rate": online.num_selected / max(1, instance.num_requests),
+        "stopped_by_budget": bool(online.stats.stopped_by_budget),
+        "batches": int(online.num_batches),
+        "sp_calls": int(online.stats.shortest_path_calls),
+        "tree_reuses": float(online.stats.extra.get("pricing_tree_reuses", 0.0)),
+    }
+    if mode.get("payments"):
+        values = online.instance.values_array()
+        outcome.claim(
+            "online payments are individually rational",
+            bool((online.payments <= values + 1e-9).all()),
+        )
+        record["revenue"] = float(online.revenue)
+    if mode.get("compare_offline", True):
+        offline = bounded_ufp(instance, epsilon)
+        record["offline_value"] = float(offline.value)
+        # ratio() handles the zero cases (1 when both zero, inf when only
+        # the offline clearing got nothing).
+        record["value_ratio"] = ratio(float(online.value), float(offline.value))
+    bound = _lp_bound(instance, mode) if mode.get("bound") == "lp" else None
+    if bound is not None:
+        record["bound"] = bound
+        record["ratio"] = ratio(bound, float(online.value))
+    return record
+
+
+def run_cell(cell: CellSpec) -> CellOutcome:
+    """Run one campaign cell and return its outcome (one record row).
+
+    Pure function of the cell spec — no ambient rng, no wall-clock in the
+    record — so it satisfies the :func:`repro.parallel.pmap` determinism
+    contract and records hash identically at any ``jobs``.
+    """
+    outcome = CellOutcome()
+    instance, _topology, base_capacity = build_cell_instance(cell)
+    record = _base_record(cell, instance, base_capacity)
+    if cell.mode["kind"] == "online":
+        record.update(_online_metrics(cell, instance, outcome))
+    else:
+        record.update(_offline_metrics(cell, instance, outcome))
+    failed = [description for description, holds in outcome.claims if not holds]
+    record["claims_ok"] = not failed
+    if failed:
+        record["claims_failed"] = failed
+    outcome.rows.append(record)
+    return outcome
+
+
+# ---------------------------------------------------------------------- #
+# The campaign driver
+# ---------------------------------------------------------------------- #
+def _wave_size(jobs: int | None) -> int:
+    # Checkpoint after every ~2 chunks per worker: small enough that a
+    # killed campaign loses little work, large enough to amortize fan-out.
+    return max(4, 2 * parallel.resolve_jobs(jobs))
+
+
+def run_campaign(
+    suite: Mapping[str, Any],
+    *,
+    store: ResultStore | None = None,
+    jobs: int | None = None,
+    fresh: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Run a scenario campaign, resuming from ``store`` when it has results.
+
+    Cells already committed to the store *with an identical cell hash* are
+    skipped; cells whose spec or seed changed are recomputed (their old
+    records are shadowed by the newer manifest entries).  Without a store
+    the campaign runs fully in memory.
+    """
+    suite = normalize_suite(suite)
+    cells = enumerate_cells(suite)
+    hashes = {cell.key: cell_hash(cell) for cell in cells}
+
+    completed: dict[str, str] = {}
+    stored: dict[str, dict] = {}
+    if store is not None:
+        suite = store.initialize(suite, fresh=fresh)
+        completed = store.completed()
+        stored = store.records(hashes)
+
+    # A cell is skippable only when its manifest entry matches the current
+    # cell hash AND its record line is intact — a damaged results file
+    # (the crash scenario the store exists for) degrades to recomputation,
+    # never to an error.
+    skipped = [
+        cell.key
+        for cell in cells
+        if completed.get(cell.key) == hashes[cell.key] and cell.key in stored
+    ]
+    invalidated = [
+        cell.key
+        for cell in cells
+        if cell.key in completed and completed[cell.key] != hashes[cell.key]
+    ]
+    skipped_set = set(skipped)
+    pending = [cell for cell in cells if cell.key not in skipped_set]
+
+    records: dict[str, dict] = {key: stored[key] for key in skipped}
+
+    wave = _wave_size(jobs)
+    for start in range(0, len(pending), wave):
+        chunk = pending[start : start + wave]
+        if progress is not None:
+            progress(
+                f"running cells {start + 1}..{start + len(chunk)} of {len(pending)}"
+            )
+        outcomes = map_cells(run_cell, chunk, jobs=jobs)
+        for cell, outcome in zip(chunk, outcomes):
+            record = outcome.rows[0]
+            records[cell.key] = record
+            if store is not None:
+                store.append(cell.key, hashes[cell.key], record)
+
+    # Report in canonical cell order.
+    ordered = {cell.key: records[cell.key] for cell in cells}
+    return CampaignResult(
+        suite=suite,
+        records=ordered,
+        computed=[cell.key for cell in pending],
+        skipped=skipped,
+        invalidated=invalidated,
+    )

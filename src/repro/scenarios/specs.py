@@ -1,0 +1,195 @@
+"""Scenario suite specs: plain dicts → validated, hashable campaign cells.
+
+A *suite* is a plain-dict description of a scenario campaign — the cross
+product of **topology families** × **demand regimes** × **workload modes**::
+
+    suite = {
+        "name": "demo",
+        "seed": 7,
+        "topologies": [{"name": "clos", "family": "fat_tree", "k": 4}, ...],
+        "regimes":    [{"name": "B4logm",
+                        "capacity": {"scale_log_m": 4.0, "min": 2.0},
+                        "num_requests": 30}, ...],
+        "modes":      [{"name": "offline", "kind": "offline", "epsilon": 0.3},
+                       {"name": "stream", "kind": "online",
+                        "arrivals": "poisson"}, ...],
+    }
+
+Every combination becomes one :class:`CellSpec`.  Two properties make the
+campaign layer resumable and deterministic:
+
+* **Stable per-cell seeds** — seeds are derived by hashing labels, *not*
+  by position in an rng stream, so adding/removing/reordering cells never
+  changes any other cell's workload.  The topology-structure seed hashes
+  only the topology name and the workload seed only (topology, regime):
+  a capacity ladder therefore sweeps ``B`` over the *same* graph
+  structure, and the offline and online modes of one (topology, regime)
+  pair clear the *same* request population — cross-mode columns compare
+  like with like.
+* **Content hashes** — :func:`cell_hash` digests the cell's entire spec
+  (topology + regime + mode params + seed + schema version).  The result
+  store keys completed work on this hash, so editing a cell's parameters
+  automatically invalidates exactly the affected cells on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.exceptions import InvalidInstanceError
+from repro.io import dumps_canonical
+from repro.utils.prng import DEFAULT_SEED
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "CellSpec",
+    "normalize_suite",
+    "enumerate_cells",
+    "cell_hash",
+    "suite_hash",
+]
+
+#: Bumped whenever cell semantics change incompatibly; part of every cell
+#: hash, so stores produced by older semantics are recomputed, not reused.
+SPEC_SCHEMA_VERSION = 1
+
+_KNOWN_MODE_KINDS = ("offline", "online", "repeated")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fully-resolved campaign cell (picklable, JSON-safe fields only).
+
+    ``topology_seed`` drives the graph-structure draws (stable per topology
+    name), ``workload_seed`` the request/arrival draws (stable per
+    topology × regime pair).
+    """
+
+    suite: str
+    key: str
+    topology: Mapping[str, Any]
+    regime: Mapping[str, Any]
+    mode: Mapping[str, Any]
+    topology_seed: int
+    workload_seed: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "key": self.key,
+            "topology": dict(self.topology),
+            "regime": dict(self.regime),
+            "mode": dict(self.mode),
+            "topology_seed": self.topology_seed,
+            "workload_seed": self.workload_seed,
+        }
+
+
+def _named_entries(entries: Sequence[Mapping[str, Any]], section: str) -> list[dict]:
+    """Validate one suite section: a non-empty list of dicts with unique
+    names (defaulting the name from the family/kind plus position)."""
+    if not isinstance(entries, (list, tuple)) or not entries:
+        raise InvalidInstanceError(f"suite section {section!r} must be a non-empty list")
+    named: list[dict] = []
+    seen: set[str] = set()
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise InvalidInstanceError(f"{section}[{position}] must be a dict")
+        entry = dict(entry)
+        default = entry.get("family") or entry.get("kind") or f"{section}{position}"
+        name = str(entry.get("name", default))
+        if "/" in name:
+            raise InvalidInstanceError(
+                f"{section} name {name!r} must not contain '/' (reserved for cell keys)"
+            )
+        if name in seen:
+            raise InvalidInstanceError(f"duplicate {section} name {name!r}")
+        seen.add(name)
+        entry["name"] = name
+        named.append(entry)
+    return named
+
+
+def normalize_suite(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate a plain-dict suite spec and fill defaults.
+
+    Returns a new dict with every topology/regime/mode named, the seed
+    resolved, and unknown top-level keys rejected (they are almost always
+    typos that would otherwise silently change nothing).
+    """
+    if not isinstance(spec, Mapping):
+        raise InvalidInstanceError("a suite spec must be a dict")
+    allowed = {"name", "seed", "topologies", "regimes", "modes", "description"}
+    unknown = set(spec) - allowed
+    if unknown:
+        raise InvalidInstanceError(
+            f"unknown suite keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    for section in ("topologies", "regimes", "modes"):
+        if section not in spec:
+            raise InvalidInstanceError(f"suite spec is missing the {section!r} section")
+
+    suite = {
+        "name": str(spec.get("name", "suite")),
+        "seed": int(spec["seed"]) if spec.get("seed") is not None else DEFAULT_SEED,
+        "description": str(spec.get("description", "")),
+        "topologies": _named_entries(spec["topologies"], "topologies"),
+        "regimes": _named_entries(spec["regimes"], "regimes"),
+        "modes": _named_entries(spec["modes"], "modes"),
+    }
+    for mode in suite["modes"]:
+        kind = mode.get("kind", "offline")
+        if kind not in _KNOWN_MODE_KINDS:
+            raise InvalidInstanceError(
+                f"unknown mode kind {kind!r}; known: {_KNOWN_MODE_KINDS}"
+            )
+        mode["kind"] = kind
+    return suite
+
+
+def _derive_seed(suite_seed: int, label: str) -> int:
+    """A stable 63-bit seed from the suite seed and a scope label."""
+    digest = hashlib.sha256(f"{suite_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def enumerate_cells(suite: Mapping[str, Any]) -> list[CellSpec]:
+    """The campaign's cells in canonical (topology, regime, mode) order."""
+    suite = normalize_suite(suite)
+    cells: list[CellSpec] = []
+    for topology in suite["topologies"]:
+        topology_seed = _derive_seed(suite["seed"], f"topology:{topology['name']}")
+        for regime in suite["regimes"]:
+            workload_seed = _derive_seed(
+                suite["seed"], f"workload:{topology['name']}/{regime['name']}"
+            )
+            for mode in suite["modes"]:
+                key = f"{topology['name']}/{regime['name']}/{mode['name']}"
+                cells.append(
+                    CellSpec(
+                        suite=suite["name"],
+                        key=key,
+                        topology=topology,
+                        regime=regime,
+                        mode=mode,
+                        topology_seed=topology_seed,
+                        workload_seed=workload_seed,
+                    )
+                )
+    return cells
+
+
+def cell_hash(cell: CellSpec) -> str:
+    """Content hash identifying the cell's computation (spec + seed +
+    schema); the result store's resume test compares against this."""
+    payload = cell.as_dict()
+    payload["schema"] = SPEC_SCHEMA_VERSION
+    return hashlib.sha256(dumps_canonical(payload).encode()).hexdigest()
+
+
+def suite_hash(suite: Mapping[str, Any]) -> str:
+    """Content hash of the whole normalized suite spec."""
+    payload = {"schema": SPEC_SCHEMA_VERSION, "suite": normalize_suite(suite)}
+    return hashlib.sha256(dumps_canonical(payload).encode()).hexdigest()

@@ -1,0 +1,187 @@
+"""The persistent, resumable campaign result store.
+
+Layout of a store directory::
+
+    store/
+      suite.json       # the normalized suite spec + its content hash
+      results.jsonl    # one line per completed cell: {key, cell, record}
+      manifest.jsonl   # one line per *committed* cell: {key, cell, record_sha}
+
+Durability protocol: a cell's record line is appended (and flushed) to
+``results.jsonl`` *before* its manifest line is appended, so the manifest
+is the source of truth — a crash between the two writes leaves an orphan
+record line that is simply ignored (its key has no matching manifest
+entry) and recomputed on resume.  Later manifest entries win, so a
+recomputed cell shadows any stale line without rewriting the file.
+
+Everything is serialized through :mod:`repro.io`'s strict encoder —
+non-finite metrics (``ratio = inf`` on cells where nothing was admitted)
+round-trip as sentinel strings instead of the non-standard
+``Infinity``/``NaN`` JSON tokens.
+
+:meth:`ResultStore.content_hash` digests the committed ``(key, cell-hash,
+record)`` triples *sorted by key*, so the hash is independent of
+completion order: an interrupted-and-resumed campaign hashes identically
+to an uninterrupted one, at any ``--jobs`` (records themselves contain no
+timing).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.exceptions import InvalidInstanceError
+from repro.io import dumps_canonical, loads_strict
+from repro.scenarios.specs import normalize_suite, suite_hash
+
+__all__ = ["ResultStore"]
+
+
+def _append_line(path: Path, line: str) -> None:
+    """Append one JSONL line with flush + fsync (a torn final line is
+    tolerated by the readers, a lost-but-acknowledged line is not)."""
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _iter_jsonl(path: Path) -> Iterator[dict]:
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                payload = loads_strict(raw)
+            except ValueError:
+                # A torn trailing line from a crash mid-write; every
+                # complete line before it is still valid.
+                continue
+            if isinstance(payload, dict):
+                yield payload
+
+
+class ResultStore:
+    """A directory-backed, append-only campaign result store."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.suite_path = self.root / "suite.json"
+        self.results_path = self.root / "results.jsonl"
+        self.manifest_path = self.root / "manifest.jsonl"
+
+    # ------------------------------------------------------------------ #
+    # Suite binding
+    # ------------------------------------------------------------------ #
+    def exists(self) -> bool:
+        return self.suite_path.exists()
+
+    def initialize(self, suite: Mapping[str, Any], *, fresh: bool = False) -> dict:
+        """Bind the store to a suite (creating the directory).
+
+        Re-initializing with the same suite is a no-op (that is what resume
+        does).  An *edited* suite under the same name is accepted — the
+        suite spec on disk is updated and the per-cell content hashes decide
+        which stored cells are still valid, so "add a regime and re-run" is
+        an incremental operation.  A suite with a *different name* raises
+        unless ``fresh`` wipes the store first: silently mixing two
+        campaigns in one store would corrupt both.
+        """
+        suite = normalize_suite(suite)
+        digest = suite_hash(suite)
+        if fresh:
+            for path in (self.suite_path, self.results_path, self.manifest_path):
+                if path.exists():
+                    path.unlink()
+        if self.suite_path.exists():
+            existing = loads_strict(self.suite_path.read_text())
+            if existing.get("name") != suite["name"]:
+                raise InvalidInstanceError(
+                    f"store at {self.root} holds a different suite "
+                    f"({existing.get('name')!r}); use a new store directory "
+                    "or pass fresh=True to wipe it"
+                )
+            if existing.get("suite_hash") == digest:
+                return suite
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {"name": suite["name"], "suite_hash": digest, "suite": suite}
+        self.suite_path.write_text(dumps_canonical(payload) + "\n")
+        return suite
+
+    def load_suite(self) -> dict:
+        """The suite spec this store was initialized with."""
+        if not self.suite_path.exists():
+            raise InvalidInstanceError(f"no campaign store at {self.root}")
+        return loads_strict(self.suite_path.read_text())["suite"]
+
+    # ------------------------------------------------------------------ #
+    # Cells
+    # ------------------------------------------------------------------ #
+    def completed(self) -> dict[str, str]:
+        """Map of committed cell key → cell hash (later entries win)."""
+        return {
+            entry["key"]: entry["cell"]
+            for entry in _iter_jsonl(self.manifest_path)
+            if "key" in entry and "cell" in entry
+        }
+
+    def append(self, key: str, cell_digest: str, record: Mapping[str, Any]) -> None:
+        """Durably commit one completed cell (record first, then manifest)."""
+        record_line = dumps_canonical(
+            {"key": key, "cell": cell_digest, "record": dict(record)}
+        )
+        record_sha = hashlib.sha256(record_line.encode()).hexdigest()
+        _append_line(self.results_path, record_line)
+        _append_line(
+            self.manifest_path,
+            dumps_canonical({"key": key, "cell": cell_digest, "record_sha": record_sha}),
+        )
+
+    def records(self, keys: Iterable[str] | None = None) -> dict[str, dict]:
+        """Committed records by key (manifest-confirmed lines only; for a
+        recomputed cell the line matching the winning manifest entry wins).
+
+        ``keys`` optionally restricts the view to the given cell keys —
+        the campaign runner passes the current suite's keys, so cells
+        renamed or removed by a suite edit do not linger in reports.
+        """
+        wanted = None if keys is None else set(keys)
+        manifest = {
+            entry["key"]: entry
+            for entry in _iter_jsonl(self.manifest_path)
+            if "key" in entry
+        }
+        records: dict[str, dict] = {}
+        for entry in _iter_jsonl(self.results_path):
+            key = entry.get("key")
+            if wanted is not None and key not in wanted:
+                continue
+            committed = manifest.get(key)
+            if committed is None or committed.get("cell") != entry.get("cell"):
+                continue
+            line_sha = hashlib.sha256(dumps_canonical(entry).encode()).hexdigest()
+            if committed.get("record_sha") not in (None, line_sha):
+                continue
+            records[key] = entry["record"]
+        return records
+
+    def content_hash(self, keys: Iterable[str] | None = None) -> str:
+        """Order-independent digest of the committed campaign results
+        (optionally restricted to ``keys``, see :meth:`records`)."""
+        manifest = self.completed()
+        records = self.records(keys)
+        digest = hashlib.sha256()
+        for key in sorted(records):
+            digest.update(
+                dumps_canonical(
+                    {"key": key, "cell": manifest[key], "record": records[key]}
+                ).encode()
+            )
+            digest.update(b"\n")
+        return digest.hexdigest()

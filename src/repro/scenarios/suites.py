@@ -1,0 +1,181 @@
+"""Built-in scenario suites.
+
+Three pinned campaigns ship with the library:
+
+* ``smoke`` — the CI smoke lane: 2 topologies × 2 regimes × offline+online,
+  each cell tiny.  Exists to exercise run → kill → resume end to end in
+  seconds.
+* ``demo`` — the reference campaign: four topology families (fat-tree/Clos,
+  Waxman WAN, Barabási–Albert scale-free, multi-region ISP composite)
+  × three capacity regimes (tiny-capacity adversarial, the ``B ≈ ln m``
+  boundary, the large-capacity regime of Theorem 3.1 — the latter with a
+  heterogeneous mouse/elephant bid mix) × offline and online modes.
+* ``capacity-ladder`` — the large-capacity stress ladder: one fat-tree and
+  one Waxman topology swept across ``B = scale * ln m`` for
+  ``scale ∈ {0.5, 1, 2, 4, 8}``, offline with payments on, so the ladder
+  reports how ratio, admission rate and revenue move as the instance
+  enters the paper's regime.
+
+All three are plain dicts — copy one, edit it, and pass it to
+``repro.scenarios run`` as a JSON file to build your own campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["BUILTIN_SUITES", "available_suites", "get_suite"]
+
+
+def _smoke_suite() -> dict[str, Any]:
+    return {
+        "name": "smoke",
+        "seed": 11,
+        "description": "tiny run/kill/resume smoke campaign (CI lane)",
+        "topologies": [
+            {"name": "grid", "family": "grid", "rows": 3, "cols": 3},
+            {"name": "wax", "family": "waxman", "num_vertices": 10},
+        ],
+        "regimes": [
+            {"name": "tiny", "capacity": 2.0, "num_requests": 10},
+            {
+                "name": "logm",
+                "capacity": {"scale_log_m": 2.0, "min": 2.0},
+                "num_requests": 10,
+            },
+        ],
+        "modes": [
+            {"name": "offline", "kind": "offline", "epsilon": "auto", "bound": "lp"},
+            {
+                "name": "stream",
+                "kind": "online",
+                "epsilon": "auto",
+                "arrivals": "bursty",
+                "burst_size": 4,
+            },
+        ],
+    }
+
+
+def _demo_suite() -> dict[str, Any]:
+    return {
+        "name": "demo",
+        "seed": 7,
+        "description": (
+            "4 topology families x 3 capacity regimes x offline+online — the "
+            "pinned reference campaign"
+        ),
+        "topologies": [
+            {"name": "clos", "family": "fat_tree", "k": 4},
+            {"name": "wan", "family": "waxman", "num_vertices": 18, "alpha": 0.7},
+            {
+                "name": "scalefree",
+                "family": "barabasi_albert",
+                "num_vertices": 18,
+                "attachments": 2,
+            },
+            {
+                "name": "regions",
+                "family": "multi_region",
+                "regions": 3,
+                "cores_per_region": 3,
+                "leaves_per_core": 2,
+            },
+        ],
+        "regimes": [
+            {
+                "name": "adversarial-tiny",
+                "capacity": 2.0,
+                "num_requests": 24,
+                "demand_range": [0.5, 1.0],
+            },
+            {
+                "name": "boundary",
+                "capacity": {"scale_log_m": 1.0, "min": 2.0},
+                "num_requests": 24,
+            },
+            {
+                "name": "large-cap-mix",
+                "capacity": {"scale_log_m": 6.0, "min": 4.0},
+                "num_requests": 28,
+                "mix": [
+                    {
+                        "fraction": 0.8,
+                        "demand_range": [0.05, 0.25],
+                        "value_range": [0.4, 1.2],
+                    },
+                    {
+                        "fraction": 0.2,
+                        "demand_range": [0.7, 1.0],
+                        "value_range": [2.0, 6.0],
+                        "value_proportional_to_demand": True,
+                    },
+                ],
+            },
+        ],
+        "modes": [
+            {"name": "offline", "kind": "offline", "epsilon": "auto", "bound": "lp"},
+            {
+                "name": "stream",
+                "kind": "online",
+                "epsilon": "auto",
+                "arrivals": "poisson",
+                "rate": 3.0,
+                "compare_offline": True,
+            },
+        ],
+    }
+
+
+def _capacity_ladder_suite() -> dict[str, Any]:
+    return {
+        "name": "capacity-ladder",
+        "seed": 13,
+        "description": (
+            "B = scale * ln(m) ladder into the Theorem 3.1 regime, payments on"
+        ),
+        "topologies": [
+            {"name": "clos", "family": "fat_tree", "k": 4},
+            {"name": "wan", "family": "waxman", "num_vertices": 20},
+        ],
+        "regimes": [
+            {
+                "name": f"B{str(scale).replace('.', 'p')}logm",
+                "capacity": {"scale_log_m": scale, "min": 1.0},
+                "num_requests": {"per_vertex": 3.0},
+                "demand_range": [0.4, 1.0],
+            }
+            for scale in (0.5, 1.0, 2.0, 4.0, 8.0)
+        ],
+        "modes": [
+            {
+                "name": "auction",
+                "kind": "offline",
+                "epsilon": "auto",
+                "bound": "lp",
+                "payments": True,
+            }
+        ],
+    }
+
+
+BUILTIN_SUITES = {
+    "smoke": _smoke_suite,
+    "demo": _demo_suite,
+    "capacity-ladder": _capacity_ladder_suite,
+}
+
+
+def available_suites() -> list[str]:
+    """Names of the built-in suites."""
+    return sorted(BUILTIN_SUITES)
+
+
+def get_suite(name: str) -> dict[str, Any]:
+    """A fresh copy of a built-in suite spec by name."""
+    key = name.strip().lower()
+    if key not in BUILTIN_SUITES:
+        raise KeyError(
+            f"unknown suite {name!r}; built-ins: {', '.join(available_suites())}"
+        )
+    return BUILTIN_SUITES[key]()

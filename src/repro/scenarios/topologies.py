@@ -1,0 +1,188 @@
+"""Topology families for scenario campaigns.
+
+Maps a topology spec dict plus a resolved base capacity ``B`` onto a
+:class:`~repro.graphs.graph.CapacitatedGraph` built by the generators in
+:mod:`repro.graphs.generators`.  Each family returns a :class:`Topology`
+bundling the graph with its natural request-terminal pool (hosts for the
+fat-tree, access leaves for the ISP-style families, every vertex
+otherwise), so demand regimes place traffic where the family's real-world
+counterpart would see it.
+
+Capacity handling: the regime hands this module one base capacity ``B``
+(the instance's intended capacity bound ``min_e c_e``).  Hierarchical
+families scale their upper tiers from it (e.g. a fat-tree's aggregation
+and core links get ``aggregation_scale * B`` and ``core_scale * B``), and
+a spec-level ``"capacity_jitter": [lo, hi]`` multiplies ``B`` into the
+uniform range ``(lo*B, hi*B)`` per tier, exercising the generators'
+capacity-range draw paths.  Scales are >= 1, so ``B`` stays the minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidInstanceError
+from repro.graphs import generators as g
+from repro.graphs.graph import CapacitatedGraph
+
+__all__ = ["Topology", "available_families", "build_topology"]
+
+
+@dataclass
+class Topology:
+    """A built substrate plus the vertex pool requests should terminate in
+    (``None`` means "all vertices")."""
+
+    graph: CapacitatedGraph
+    terminals: Sequence[int] | None = None
+
+
+def _capacity(spec: Mapping[str, Any], base: float, scale: float = 1.0):
+    """Resolve one tier's capacity: ``scale * B``, optionally jittered into
+    a uniform range by the spec's ``capacity_jitter`` pair."""
+    jitter = spec.get("capacity_jitter")
+    if jitter is None:
+        return float(base) * float(scale)
+    lo, hi = float(jitter[0]), float(jitter[1])
+    if not 1.0 <= lo <= hi:
+        raise InvalidInstanceError(
+            f"capacity_jitter must satisfy 1 <= lo <= hi, got {jitter!r}"
+        )
+    return (base * scale * lo, base * scale * hi)
+
+
+def _build_grid(spec, base, rng):
+    rows, cols = int(spec.get("rows", 4)), int(spec.get("cols", 4))
+    return Topology(
+        g.grid_graph(
+            rows, cols, _capacity(spec, base),
+            directed=bool(spec.get("directed", False)), seed=rng,
+        )
+    )
+
+
+def _build_ring(spec, base, rng):
+    return Topology(
+        g.ring_graph(
+            int(spec.get("num_vertices", 12)), _capacity(spec, base),
+            directed=bool(spec.get("directed", False)), seed=rng,
+        )
+    )
+
+
+def _build_random(spec, base, rng):
+    n = int(spec.get("num_vertices", 16))
+    p = float(spec.get("edge_probability", 0.25))
+    if bool(spec.get("directed", True)):
+        graph = g.random_digraph(n, p, _capacity(spec, base), seed=rng)
+    else:
+        graph = g.random_graph(n, p, _capacity(spec, base), seed=rng)
+    return Topology(graph)
+
+
+def _build_isp(spec, base, rng):
+    num_core = int(spec.get("num_core", 4))
+    leaves = int(spec.get("leaves_per_core", 3))
+    core_scale = float(spec.get("core_scale", 2.0))
+    graph = g.isp_topology(
+        num_core, leaves, base * core_scale, base,
+        seed=rng, directed=bool(spec.get("directed", False)),
+    )
+    return Topology(graph, terminals=list(range(num_core, graph.num_vertices)))
+
+
+def _build_fat_tree(spec, base, rng):
+    k = int(spec.get("k", 4))
+    hosts_per_edge = spec.get("hosts_per_edge")
+    hosts_per_edge = None if hosts_per_edge is None else int(hosts_per_edge)
+    graph = g.fat_tree_topology(
+        k,
+        _capacity(spec, base, float(spec.get("core_scale", 4.0))),
+        _capacity(spec, base, float(spec.get("aggregation_scale", 2.0))),
+        _capacity(spec, base),
+        hosts_per_edge=hosts_per_edge,
+        seed=rng,
+        directed=bool(spec.get("directed", False)),
+    )
+    hosts = list(g.fat_tree_host_range(k, hosts_per_edge))
+    return Topology(graph, terminals=hosts or None)
+
+
+def _build_waxman(spec, base, rng):
+    return Topology(
+        g.waxman_graph(
+            int(spec.get("num_vertices", 20)),
+            _capacity(spec, base),
+            alpha=float(spec.get("alpha", 0.6)),
+            beta=float(spec.get("beta", 0.4)),
+            seed=rng,
+            directed=bool(spec.get("directed", False)),
+        )
+    )
+
+
+def _build_barabasi_albert(spec, base, rng):
+    return Topology(
+        g.barabasi_albert_graph(
+            int(spec.get("num_vertices", 20)),
+            int(spec.get("attachments", 2)),
+            _capacity(spec, base),
+            seed=rng,
+            directed=bool(spec.get("directed", False)),
+        )
+    )
+
+
+def _build_multi_region(spec, base, rng):
+    regions = int(spec.get("regions", 3))
+    cores = int(spec.get("cores_per_region", 3))
+    leaves = int(spec.get("leaves_per_core", 2))
+    graph = g.multi_region_topology(
+        regions, cores, leaves,
+        _capacity(spec, base, float(spec.get("backbone_scale", 4.0))),
+        _capacity(spec, base, float(spec.get("core_scale", 2.0))),
+        _capacity(spec, base),
+        interlinks_per_pair=int(spec.get("interlinks_per_pair", 1)),
+        seed=rng,
+        directed=bool(spec.get("directed", False)),
+    )
+    terminals = g.multi_region_leaves(regions, cores, leaves)
+    return Topology(graph, terminals=terminals or None)
+
+
+_FAMILIES: dict[str, Callable[[Mapping[str, Any], float, np.random.Generator], Topology]] = {
+    "grid": _build_grid,
+    "ring": _build_ring,
+    "random": _build_random,
+    "isp": _build_isp,
+    "fat_tree": _build_fat_tree,
+    "waxman": _build_waxman,
+    "barabasi_albert": _build_barabasi_albert,
+    "multi_region": _build_multi_region,
+}
+
+
+def available_families() -> list[str]:
+    """Registered topology family names."""
+    return sorted(_FAMILIES)
+
+
+def build_topology(
+    spec: Mapping[str, Any], base_capacity: float, rng: np.random.Generator
+) -> Topology:
+    """Build the topology a spec describes with base capacity ``B``.
+
+    ``rng`` is consumed in place (library seed contract), so the caller can
+    thread one cell generator through topology and request construction.
+    """
+    family = spec.get("family")
+    if family not in _FAMILIES:
+        raise InvalidInstanceError(
+            f"unknown topology family {family!r}; available: {available_families()}"
+        )
+    if base_capacity <= 0:
+        raise InvalidInstanceError("base capacity must be positive")
+    return _FAMILIES[family](spec, float(base_capacity), rng)

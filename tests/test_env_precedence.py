@@ -1,0 +1,126 @@
+"""Environment-knob precedence: explicit arguments beat inherited env vars.
+
+``REPRO_JOBS`` and ``REPRO_SP_BACKEND`` are convenience defaults; an
+explicit ``jobs=``/``--jobs`` or ``set_backend()``/``--backend`` must win
+everywhere — in-process, in the CLIs, and inside ``pmap`` worker
+processes (which inherit the parent's environment).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+
+import pytest
+
+from repro import parallel
+
+# The repro.graphs package re-exports a *function* called shortest_path
+# that shadows the module attribute; import the module itself.
+sp = importlib.import_module("repro.graphs.shortest_path")
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    """Pin and restore the process-global backend around each test."""
+    previous = sp.get_backend()
+    yield
+    sp._active_backend = previous
+
+
+class TestJobsPrecedence:
+    def test_explicit_jobs_beats_env(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV_VAR, "7")
+        assert parallel.resolve_jobs(2) == 2
+        assert parallel.resolve_jobs(1) == 1
+        # env only applies when nothing explicit was passed
+        assert parallel.resolve_jobs(None) == 7
+
+    def test_env_ignored_when_invalid(self, monkeypatch):
+        monkeypatch.setenv(parallel.JOBS_ENV_VAR, "many")
+        with pytest.warns(UserWarning, match="non-integer"):
+            assert parallel.resolve_jobs(None) == 1
+
+    def test_pmap_explicit_jobs_beats_env(self, monkeypatch):
+        """REPRO_JOBS=4 must not fan out a pmap explicitly asked to run
+        serially (observable via the worker flag: the serial path never
+        forks)."""
+        monkeypatch.setenv(parallel.JOBS_ENV_VAR, "4")
+        import os
+
+        parent = os.getpid()
+        pids = parallel.pmap(lambda _: os.getpid(), [0, 1, 2], jobs=1)
+        assert set(pids) == {parent}
+
+
+def _backend_name(_task):
+    return sp.get_backend().name
+
+
+class TestBackendPrecedence:
+    def test_explicit_set_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(sp.BACKEND_ENV_VAR, "scipy")
+        sp.set_backend("lists")
+        assert sp.get_backend().name == "lists"
+
+    def test_workers_inherit_explicit_backend(self, monkeypatch):
+        """An explicit backend choice propagates into pmap workers even
+        when the inherited environment says otherwise."""
+        monkeypatch.setenv(sp.BACKEND_ENV_VAR, "scipy")
+        sp.set_backend("lists")
+        names = parallel.pmap(_backend_name, [0, 1, 2, 3], jobs=2)
+        assert names == ["lists"] * 4
+
+    def test_experiments_cli_backend_flag_beats_env(self, monkeypatch):
+        """--backend wins over REPRO_SP_BACKEND in the experiments CLI."""
+        from repro.experiments import cli as experiments_cli
+
+        monkeypatch.setenv(sp.BACKEND_ENV_VAR, "scipy")
+        sp._active_backend = None  # force lazy re-resolution from env
+
+        observed = {}
+
+        class _StubSpec:
+            def run(self, **kwargs):
+                observed["backend"] = sp.get_backend().name
+                from repro.experiments.harness import ExperimentResult
+
+                return ExperimentResult(experiment_id="EX", title="stub")
+
+        monkeypatch.setattr(
+            experiments_cli, "get_experiment", lambda _id: _StubSpec()
+        )
+        assert experiments_cli.main(["run", "EX", "--backend", "lists"]) == 0
+        assert observed["backend"] == "lists"
+
+    def test_experiments_cli_unknown_backend_errors(self):
+        from repro.experiments import cli as experiments_cli
+
+        with pytest.raises(SystemExit):
+            experiments_cli.main(["run", "E1", "--backend", "bogus"])
+
+    def test_scenarios_cli_backend_flag_beats_env(self, monkeypatch, tmp_path, capsys):
+        """--backend wins over REPRO_SP_BACKEND in the scenarios CLI, and
+        the campaign result is identical either way."""
+        from repro.scenarios.cli import main as scenarios_main
+
+        suite = {
+            "name": "tiny",
+            "seed": 5,
+            "topologies": [{"name": "g", "family": "grid", "rows": 3, "cols": 3}],
+            "regimes": [{"name": "r", "capacity": 6.0, "num_requests": 6}],
+            "modes": [{"name": "off", "kind": "offline", "bound": "none"}],
+        }
+        spec_path = tmp_path / "suite.json"
+        spec_path.write_text(json.dumps(suite))
+
+        monkeypatch.setenv(sp.BACKEND_ENV_VAR, "bogus-backend")
+        sp._active_backend = None
+        assert (
+            scenarios_main(["run", str(spec_path), "--backend", "lists", "--json"])
+            == 0
+        )
+        # The bogus env var never got resolved: the explicit flag won
+        # without even a warning from the lazy env fallback.
+        assert sp.get_backend().name == "lists"
+        json.loads(capsys.readouterr().out)

@@ -19,11 +19,15 @@ from repro.flows import (
     random_requests,
 )
 from repro.graphs.generators import (
+    barabasi_albert_graph,
+    fat_tree_topology,
     grid_graph,
     isp_topology,
+    multi_region_topology,
     random_digraph,
     random_graph,
     ring_graph,
+    waxman_graph,
 )
 from repro.online import bursty_arrivals, poisson_arrivals
 from repro.utils.prng import DEFAULT_SEED, ensure_rng
@@ -53,6 +57,16 @@ GRAPH_BUILDERS = {
     "grid_graph": lambda seed: grid_graph(3, 4, (1.0, 5.0), seed=seed),
     "ring_graph": lambda seed: ring_graph(6, (1.0, 5.0), seed=seed),
     "isp_topology": lambda seed: isp_topology(3, 2, 20.0, 10.0, seed=seed),
+    "fat_tree_topology": lambda seed: fat_tree_topology(
+        4, (8.0, 16.0), (4.0, 8.0), (2.0, 4.0), seed=seed
+    ),
+    "waxman_graph": lambda seed: waxman_graph(14, (1.0, 5.0), seed=seed),
+    "barabasi_albert_graph": lambda seed: barabasi_albert_graph(
+        15, 2, (1.0, 5.0), seed=seed
+    ),
+    "multi_region_topology": lambda seed: multi_region_topology(
+        3, 3, 2, (12.0, 16.0), (6.0, 9.0), (2.0, 4.0), seed=seed
+    ),
 }
 
 INSTANCE_BUILDERS = {
@@ -128,6 +142,65 @@ def test_shared_generator_threads_one_deterministic_stream():
     _, r_fresh, _ = composite(9)
     fresh_requests = random_requests(g1, 10, seed=9)
     assert not _same_requests(r_fresh, fresh_requests)
+
+
+CONSTANT_CAPACITY_BUILDERS = {
+    "ring_graph": lambda seed: ring_graph(6, 5.0, seed=seed),
+    "grid_graph": lambda seed: grid_graph(3, 4, 5.0, seed=seed),
+    "fat_tree_topology": lambda seed: fat_tree_topology(4, 8.0, 4.0, 2.0, seed=seed),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONSTANT_CAPACITY_BUILDERS))
+def test_constant_capacity_generators_pass_rng_through(name):
+    """Deterministic-topology generators with constant capacities consume no
+    randomness: a shared Generator passes through unperturbed (the
+    documented ring_graph contract, extended to the new families)."""
+    build = CONSTANT_CAPACITY_BUILDERS[name]
+    rng = np.random.default_rng(31)
+    build(rng)
+    untouched = np.random.default_rng(31)
+    assert rng.integers(0, 2**31) == untouched.integers(0, 2**31)
+
+
+def _scipy_available() -> bool:
+    try:
+        import scipy  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy is a test dependency
+        return False
+    return True
+
+
+@pytest.mark.skipif(not _scipy_available(), reason="scipy backend unavailable")
+@pytest.mark.parametrize("family", ["waxman", "fat_tree"])
+def test_backend_parity_on_new_topologies(family):
+    """scipy and lists shortest-path backends must produce bit-identical
+    Bounded-UFP allocations on the new topology families."""
+    from repro.core import bounded_ufp
+    from repro.flows import UFPInstance
+    from repro.graphs import use_backend
+
+    if family == "waxman":
+        graph = waxman_graph(16, 12.0, seed=21)
+        terminals = None
+    else:
+        graph = fat_tree_topology(4, 48.0, 24.0, 12.0, seed=21)
+        from repro.graphs import fat_tree_host_range
+
+        terminals = list(fat_tree_host_range(4))
+    requests = random_requests(
+        graph, 40, seed=22, sources=terminals, targets=terminals
+    )
+    instance = UFPInstance(graph, requests, name=f"parity-{family}")
+
+    allocations = {}
+    for backend in ("lists", "scipy"):
+        with use_backend(backend):
+            allocation = bounded_ufp(instance, 0.4)
+        allocations[backend] = [
+            (item.request_index, tuple(item.vertices)) for item in allocation.routed
+        ]
+    assert allocations["lists"] == allocations["scipy"]
 
 
 def test_arrival_processes_reproduce_per_seed():

@@ -11,17 +11,24 @@ from hypothesis import strategies as st
 from repro.exceptions import InvalidInstanceError, NoPathError
 from repro.graphs import (
     CapacitatedGraph,
+    barabasi_albert_graph,
+    fat_tree_host_range,
+    fat_tree_topology,
     from_networkx,
     grid_graph,
     is_simple_path,
     isp_topology,
+    multi_region_leaves,
+    multi_region_topology,
     path_edge_ids,
     path_length,
     random_digraph,
     random_graph,
     ring_graph,
+    shortest_path,
     to_networkx,
     validate_path,
+    waxman_graph,
 )
 
 
@@ -108,6 +115,107 @@ class TestStructuredGenerators:
         assert graph.num_edges == 2 * (3 + 6)
 
 
+class TestNewTopologyFamilies:
+    def test_fat_tree_structure(self):
+        graph = fat_tree_topology(4, 8.0, 4.0, 2.0)
+        # k=4: 4 cores, 8 agg, 8 edge switches, 16 hosts = 36 vertices;
+        # 16 core uplinks + 16 pod-internal + 16 host links = 48 edges.
+        assert graph.num_vertices == 36
+        assert graph.num_edges == 48
+        assert graph.min_capacity == 2.0
+        assert graph.max_capacity == 8.0
+        hosts = list(fat_tree_host_range(4))
+        assert len(hosts) == 16
+        assert hosts[0] == 20 and hosts[-1] == 35
+        # Any host pair is routable through the tree.
+        vertices, _, _ = shortest_path(
+            graph, hosts[0], hosts[-1], np.ones(graph.num_edges)
+        )
+        assert vertices[0] == hosts[0] and vertices[-1] == hosts[-1]
+
+    def test_fat_tree_rejects_odd_arity(self):
+        with pytest.raises(InvalidInstanceError):
+            fat_tree_topology(3, 8.0, 4.0, 2.0)
+
+    def test_waxman_connectivity_and_bounds(self):
+        graph = waxman_graph(15, 3.0, seed=2)
+        assert graph.num_vertices == 15
+        # ensure_connected adds a spanning cycle, so every pair routes.
+        vertices, _, _ = shortest_path(graph, 0, 14, np.ones(graph.num_edges))
+        assert vertices[0] == 0 and vertices[-1] == 14
+
+    def test_waxman_parameter_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            waxman_graph(10, 3.0, alpha=0.0)
+        with pytest.raises(InvalidInstanceError):
+            waxman_graph(10, 3.0, beta=-1.0)
+
+    def test_barabasi_albert_edge_count_and_hubs(self):
+        attachments = 2
+        graph = barabasi_albert_graph(30, attachments, 4.0, seed=5)
+        # Every vertex past the initial block adds `attachments` edges.
+        assert graph.num_edges == (30 - attachments) * attachments
+        degrees = np.zeros(30, dtype=int)
+        for edge in graph.edges():
+            degrees[edge.tail] += 1
+            degrees[edge.head] += 1
+        # Preferential attachment concentrates degree: the top hub sees
+        # far more than the attachment minimum.
+        assert degrees.max() >= 3 * attachments
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            barabasi_albert_graph(3, 3, 1.0)
+        with pytest.raises(InvalidInstanceError):
+            barabasi_albert_graph(5, 0, 1.0)
+
+    def test_multi_region_structure_and_leaves(self):
+        graph = multi_region_topology(3, 3, 2, 16.0, 8.0, 4.0, seed=1)
+        # Per region: C(3,2)=3 core + 6 access = 9 edges; backbone:
+        # C(3,2) pairs * 1 interlink = 3.
+        assert graph.num_edges == 3 * 9 + 3
+        assert graph.num_vertices == 3 * 9
+        leaves = multi_region_leaves(3, 3, 2)
+        assert len(leaves) == 18
+        # Leaves of different regions are connected via the backbone.
+        vertices, _, _ = shortest_path(
+            graph, leaves[0], leaves[-1], np.ones(graph.num_edges)
+        )
+        assert vertices[0] == leaves[0] and vertices[-1] == leaves[-1]
+
+    def test_multi_region_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            multi_region_topology(1, 3, 2, 16.0, 8.0, 4.0)
+
+
+class TestDegenerateGraphs:
+    """Edge-less outputs are rejected at construction (ISSUE-5 satellite)."""
+
+    def test_grid_1x1_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="no edges"):
+            grid_graph(1, 1, 5.0)
+
+    def test_grid_1x2_is_fine(self):
+        graph = grid_graph(1, 2, 5.0)
+        assert graph.num_edges == 1
+
+    def test_random_generators_reject_empty_edge_sets(self):
+        with pytest.raises(InvalidInstanceError, match="no edges"):
+            random_digraph(5, 0.0, (1.0, 2.0), ensure_connected=False)
+        with pytest.raises(InvalidInstanceError, match="no edges"):
+            random_graph(5, 0.0, (1.0, 2.0), ensure_connected=False)
+
+    def test_waxman_rejects_empty_edge_sets(self):
+        # alpha tiny + no connectivity cycle => (almost surely) no edges.
+        with pytest.raises(InvalidInstanceError, match="no edges"):
+            waxman_graph(4, 1.0, alpha=1e-12, beta=1e-3, ensure_connected=False, seed=0)
+
+    def test_connected_variants_always_have_edges(self):
+        assert random_digraph(5, 0.0, 1.0).num_edges == 5
+        assert random_graph(5, 0.0, 1.0).num_edges == 5
+        assert waxman_graph(5, 1.0, alpha=1e-12, beta=1e-3, seed=0).num_edges >= 5
+
+
 class TestNetworkxInterop:
     def test_round_trip_directed(self, diamond_graph):
         nxg = to_networkx(diamond_graph)
@@ -180,7 +288,12 @@ class TestPathUtilities:
     cols=st.integers(min_value=1, max_value=5),
 )
 def test_property_grid_edge_count(rows, cols):
-    """The mesh has rows*(cols-1) + (rows-1)*cols edges."""
+    """The mesh has rows*(cols-1) + (rows-1)*cols edges; the edge-less 1x1
+    grid is rejected at construction."""
+    if rows * cols < 2:
+        with pytest.raises(InvalidInstanceError):
+            grid_graph(rows, cols, 1.0)
+        return
     graph = grid_graph(rows, cols, 1.0)
     assert graph.num_edges == rows * (cols - 1) + (rows - 1) * cols
     assert graph.num_vertices == rows * cols

@@ -125,6 +125,59 @@ class TestFiles:
             io.load_json(path)
 
 
+class TestNonFiniteRoundTrip:
+    """inf/nan must survive persistence as strict JSON (ISSUE-5 satellite:
+    ``harness.ratio`` legitimately returns ``math.inf`` and ``json.dumps``
+    would otherwise emit non-standard ``Infinity``/``NaN`` tokens)."""
+
+    def test_encode_decode_inverse(self):
+        import math
+
+        payload = {
+            "ratio": math.inf,
+            "neg": -math.inf,
+            "nested": [{"x": math.nan}, 1.5, "plain"],
+            "ints": 3,
+        }
+        encoded = io.encode_nonfinite(payload)
+        assert encoded["ratio"] == io.INF_SENTINEL
+        assert encoded["neg"] == io.NEG_INF_SENTINEL
+        assert encoded["nested"][0]["x"] == io.NAN_SENTINEL
+        decoded = io.decode_nonfinite(encoded)
+        assert decoded["ratio"] == math.inf
+        assert decoded["neg"] == -math.inf
+        assert math.isnan(decoded["nested"][0]["x"])
+        assert decoded["nested"][1:] == [1.5, "plain"]
+        assert decoded["ints"] == 3
+
+    def test_dumps_strict_has_no_nonstandard_tokens(self):
+        import math
+
+        text = io.dumps_strict({"a": math.inf, "b": math.nan, "c": 1.0})
+        assert "Infinity" not in text and "NaN" not in text
+        # A strict parser (rejecting the non-standard constants) accepts it.
+        reloaded = json.loads(text, parse_constant=pytest.fail)
+        assert io.decode_nonfinite(reloaded)["a"] == math.inf
+
+    def test_save_load_json_round_trips_nonfinite_metadata(self, tmp_path):
+        import math
+
+        instance = random_instance(num_vertices=6, num_requests=5, seed=1)
+        instance.metadata["achieved_ratio"] = math.inf
+        instance.metadata["unmeasured"] = math.nan
+        path = io.save_json(instance, tmp_path / "inst.json")
+        text = path.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+        reloaded = io.load_json(path)
+        assert reloaded.metadata["achieved_ratio"] == math.inf
+        assert math.isnan(reloaded.metadata["unmeasured"])
+
+    def test_dumps_canonical_is_key_order_independent(self):
+        assert io.dumps_canonical({"b": 1, "a": 2}) == io.dumps_canonical(
+            {"a": 2, "b": 1}
+        )
+
+
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10_000))
 def test_property_round_trip_preserves_algorithm_output(seed):
