@@ -170,6 +170,38 @@ class DualWeights:
         incremental bookkeeping in tests)."""
         return float(self._capacities @ self._y)
 
+    def with_capacities(
+        self, capacities: np.ndarray | Sequence[float]
+    ) -> "DualWeights":
+        """A new state over a resized substrate, preserving congestion.
+
+        Capacity churn (an edge shrinking or an edge coming back after a
+        failure) changes ``c_e`` mid-run.  The paper's analysis keys the
+        exponent on the *multiplier* ``y_e * c_e`` — the accumulated
+        ``exp(eps B sum d / c_e)`` factor over the edge's history — so the
+        fault-tolerant auction carries that multiplier across the resize:
+        ``y'_e = y_e * c_e / c'_e``.  Fresh edges (old weight still at its
+        ``1 / c_e`` initial value) land exactly on ``1 / c'_e``, and the
+        budget contribution ``c'_e y'_e = c_e y_e`` of every edge is
+        unchanged, so the stopping rule does not jump on a resize.  The
+        update counter carries over (the weights are not in their initial
+        state), and ``epsilon``/``B`` are preserved — the guarantee tracked
+        is the one the run was started with.
+        """
+        new_caps = np.asarray(capacities, dtype=np.float64)
+        if new_caps.shape != self._capacities.shape:
+            raise ValueError("with_capacities requires the same edge count")
+        if np.any(new_caps <= 0):
+            raise ValueError("capacities must be positive")
+        clone = DualWeights.__new__(DualWeights)
+        clone._capacities = new_caps
+        clone._epsilon = self._epsilon
+        clone._B = self._B
+        clone._y = self._y * (self._capacities / new_caps)
+        clone._budget = float(new_caps @ clone._y)
+        clone._updates = self._updates
+        return clone
+
     def copy(self) -> "DualWeights":
         """A deep copy (used when exploring hypothetical selections)."""
         clone = DualWeights.__new__(DualWeights)

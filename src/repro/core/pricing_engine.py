@@ -824,6 +824,98 @@ class PathPricingEngine:
             heapq.heappush(self._heap, (selection.score, idx, -1))
 
     # ------------------------------------------------------------------ #
+    # Substrate mutation (fault injection)
+    # ------------------------------------------------------------------ #
+    def reinstate(self, index: int) -> None:
+        """Return a previously selected or dropped request to the live pool.
+
+        The fault-tolerant auction revokes allocations whose path crosses a
+        failed edge; the victim re-enters the pool here (subject to the
+        auction's requeue budget).  The request becomes live-but-unpriced:
+        follow with :meth:`push_fresh`, or with :meth:`rebind_substrate`
+        (which re-prices every live request).  No-op when already live.
+        """
+        if self._selected[index]:
+            self._selected[index] = 0
+        elif self._dropped[index]:
+            self._dropped[index] = 0
+        else:
+            return
+        self._pending += 1
+        source = self._requests[index].source
+        self._source_live[source] = self._source_live.get(source, 0) + 1
+
+    def rebind_substrate(self, graph: CapacitatedGraph, duals: DualWeights) -> None:
+        """Re-home the engine onto a mutated substrate (duals mode only).
+
+        Fault events replace the graph (edges disabled/re-enabled, edges
+        resized via :meth:`CapacitatedGraph.with_capacities`) and the dual
+        state (:meth:`DualWeights.with_capacities`) mid-run.  Such mutations
+        break both pillars of the engine's laziness: weights may *decrease*
+        (capacity growth, edge repair), so cached heap scores are no longer
+        lower bounds, and cached trees were computed over arcs that may no
+        longer exist.  This method therefore drops every cached tree and
+        rebuilds the heap by **exact** re-pricing of all live requests —
+        correctness over laziness, which is fine because fault events are
+        rare relative to selections.
+
+        Live requests that became unroutable (their source lost all paths to
+        the target) are dropped, exactly as at admission.  Requests already
+        selected or dropped stay that way — reinstate revoked victims with
+        :meth:`reinstate` *before* calling this, so they are re-priced here.
+
+        The per-graph tree memos are re-bound to the new graph's
+        ``substrate_cache``: the old graph's memo entries are keyed to its
+        arc structure and must never serve the mutated substrate.
+        """
+        if duals is None:
+            raise ValueError("rebind_substrate requires a DualWeights state")
+        if (
+            graph.num_vertices != self._n
+            or graph.num_edges != self._graph.num_edges
+        ):
+            raise ValueError(
+                "rebind_substrate requires the same vertex and edge-id space"
+            )
+        self._graph = graph
+        self._csr = graph.csr_lists()
+        self._duals = duals
+        self._weights = duals.weights
+        self._w_list = None
+        self._w_bytes = None
+        if self._tree_memo is not None:
+            self._tree_memo = graph.substrate_cache.setdefault(
+                _TREE_MEMO_KEY, _TreeMemoLRU(self._memo_cap)
+            )
+            self._initial_tree_memo = graph.substrate_cache.setdefault(
+                _INITIAL_TREE_MEMO_KEY, {}
+            )
+        self._trees = {}
+        self._edge_sources = {}
+        for source in list(self._source_epoch):
+            self._source_epoch[source] += 1
+        by_source: dict[int, list[int]] = {}
+        for idx in range(len(self._requests)):
+            if self._selected[idx] or self._dropped[idx]:
+                continue
+            by_source.setdefault(self._requests[idx].source, []).append(idx)
+        self._heap = []
+        if by_source:
+            trees = self._get_trees_batch(list(by_source))
+            for source, idxs in by_source.items():
+                tree = trees[source]
+                epoch = self._source_epoch.get(source, 0)
+                dist = tree.dist
+                for idx in idxs:
+                    req = self._requests[idx]
+                    d = dist[req.target]
+                    if d == _INF:
+                        self._drop(idx)
+                        continue
+                    self._heap.append((self._score(idx, req, d), idx, epoch))
+            heapq.heapify(self._heap)
+
+    # ------------------------------------------------------------------ #
     # Checkpoint / restore (the trace-replay substrate)
     # ------------------------------------------------------------------ #
     def fork(self) -> "PathEngineCheckpoint":

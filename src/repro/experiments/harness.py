@@ -55,14 +55,18 @@ def map_cells(
     tasks: Sequence[Any],
     *,
     jobs: int | None = None,
+    on_error: str = "raise",
 ) -> list[CellOutcome]:
     """Run ``cell_fn`` over independent cell tasks, serially or fanned out.
 
     Thin façade over :func:`repro.parallel.pmap`; the determinism contract
     applies — each task must carry everything its cell needs (parameters and
     a pre-derived RNG), so results are bit-identical at any ``jobs``.
+    With ``on_error="capture"`` a failing (or crashing) cell yields a
+    :class:`repro.parallel.WorkerError` in its slot instead of aborting the
+    other cells.
     """
-    return parallel.pmap(cell_fn, tasks, jobs=jobs)
+    return parallel.pmap(cell_fn, tasks, jobs=jobs, on_error=on_error)
 
 
 @dataclass

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for online auction runs.
+
+The paper analyzes the mechanism on a static substrate; this package
+measures how revenue and competitive ratio degrade when the network itself
+misbehaves.  Three fault families are modeled, all seeded and bit-exactly
+reproducible:
+
+* **edge failures** — edges drop out of the substrate (and optionally come
+  back after a fixed outage), stranding allocations routed over them;
+* **capacity churn** — edges resize mid-stream (and optionally revert to
+  their exact original capacities), possibly below their current load;
+* **jamming** — streams of low-value griefing requests interleaved with the
+  honest workload, optionally deterred by an upfront fee charged per
+  arrival (the Lightning-jamming fee-schedule model).
+
+:class:`FaultSchedule` turns a plain-dict spec into a per-batch event
+stream; :func:`run_with_faults` drives an
+:class:`~repro.online.auction.OnlineAuction` through a stream while applying
+those events between batches and returns the allocation together with a
+:class:`FaultReport` of the degradation accounting.  A zero-intensity
+schedule injects nothing and leaves the run bit-identical to the fault-free
+path — the differential tests enforce this.
+"""
+
+from repro.faults.injector import FaultReport, run_with_faults
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    JAM_NAME_PREFIX,
+    is_jam_request,
+    normalize_fault_spec,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultReport",
+    "FaultSchedule",
+    "JAM_NAME_PREFIX",
+    "is_jam_request",
+    "normalize_fault_spec",
+    "run_with_faults",
+]

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.flows.allocation import Allocation
 
-__all__ = ["AdmissionEvent", "StreamingAllocation"]
+__all__ = ["AdmissionEvent", "RevocationEvent", "StreamingAllocation"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +55,48 @@ class AdmissionEvent:
     payment: float = 0.0
 
 
+@dataclass(frozen=True)
+class RevocationEvent:
+    """One allocation revoked by a substrate fault (never by the mechanism).
+
+    Admissions are irrevocable under the paper's model; revocations exist
+    only in the fault-injection extension, where an edge failing or
+    shrinking mid-stream can physically strand an already-routed request.
+
+    Attributes
+    ----------
+    request_index:
+        Index of the victim in arrival order.
+    batch:
+        Index of the batch *about to be processed* when the fault fired
+        (faults apply between batches).
+    reason:
+        ``"edge_failure"`` or ``"capacity_shrink"``.
+    edge_ids:
+        The path the victim was routed on when revoked.
+    value:
+        The victim's declared value (the welfare lost if it never re-routes).
+    refunded:
+        The online payment returned to the victim (0 when payments were off
+        or the victim had not been charged).
+    compensation:
+        Extra damages paid by the operator on top of the refund
+        (``compensation_rate * refunded``).
+    requeued:
+        Whether the victim re-entered the live pool for possible
+        re-admission (false once its requeue budget is exhausted).
+    """
+
+    request_index: int
+    batch: int
+    reason: str
+    edge_ids: tuple[int, ...]
+    value: float
+    refunded: float
+    compensation: float
+    requeued: bool
+
+
 @dataclass
 class StreamingAllocation(Allocation):
     """An :class:`Allocation` plus the admission history that produced it.
@@ -79,11 +121,35 @@ class StreamingAllocation(Allocation):
     rejected: tuple[int, ...] = ()
     num_batches: int = 0
     payments: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    revocations: list[RevocationEvent] = field(default_factory=list)
 
     @property
     def revenue(self) -> float:
-        """Total online payments collected."""
+        """Total online payments collected (refunds already netted out)."""
         return float(self.payments.sum()) if self.payments.size else 0.0
+
+    @property
+    def total_refunded(self) -> float:
+        """Payments returned to fault-revoked winners."""
+        return sum(event.refunded for event in self.revocations)
+
+    @property
+    def total_compensation(self) -> float:
+        """Damages paid on top of refunds to fault-revoked winners."""
+        return sum(event.compensation for event in self.revocations)
+
+    @property
+    def value_revoked(self) -> float:
+        """Declared value stranded by revocations that never re-routed.
+
+        A victim that was later re-admitted (it appears in ``routed``) does
+        not count — its value made it into the final allocation after all.
+        """
+        final = {item.request_index for item in self.routed}
+        victims = {event.request_index: event.value for event in self.revocations}
+        return sum(
+            value for index, value in victims.items() if index not in final
+        )
 
     @property
     def admission_rate(self) -> float:

@@ -74,6 +74,7 @@ class CapacitatedGraph:
         "_adj_heads",
         "_adj_edge_ids",
         "_edge_lookup",
+        "_disabled",
         "_substrate_cache",
     )
 
@@ -83,6 +84,7 @@ class CapacitatedGraph:
         edges: Iterable[tuple[int, int, float]],
         *,
         directed: bool = True,
+        disabled_edges: Iterable[int] = (),
     ) -> None:
         n = int(num_vertices)
         if n <= 0:
@@ -117,6 +119,18 @@ class CapacitatedGraph:
         self._tails = tails
         self._heads = heads
 
+        # Disabled edges model substrate faults: the edge keeps its id and
+        # capacity (so every edge-id-indexed array stays aligned across
+        # substrate mutations) but contributes no arcs — routing simply never
+        # sees it, on any shortest-path backend.
+        disabled = frozenset(int(e) for e in disabled_edges)
+        for eid in disabled:
+            if not 0 <= eid < m:
+                raise InvalidInstanceError(
+                    f"disabled edge id {eid} out of range for m={m}"
+                )
+        self._disabled = disabled
+
         # Build CSR adjacency over *arcs*.  Undirected edges contribute two
         # arcs sharing the same edge id.
         if self._directed:
@@ -129,6 +143,11 @@ class CapacitatedGraph:
             arc_edge_ids = np.concatenate(
                 [np.arange(m, dtype=np.int64), np.arange(m, dtype=np.int64)]
             )
+        if disabled:
+            keep = ~np.isin(arc_edge_ids, np.fromiter(sorted(disabled), dtype=np.int64))
+            arc_tails = arc_tails[keep]
+            arc_heads = arc_heads[keep]
+            arc_edge_ids = arc_edge_ids[keep]
 
         order = np.argsort(arc_tails, kind="stable")
         sorted_tails = arc_tails[order]
@@ -139,8 +158,12 @@ class CapacitatedGraph:
 
         # Lookup of (u, v) -> list of edge ids, respecting orientation for
         # directed graphs and treating (u, v) == (v, u) for undirected ones.
+        # Disabled edges are excluded: has_edge/edge_ids_between answer
+        # routability questions.
         lookup: dict[tuple[int, int], list[int]] = {}
         for eid in range(m):
+            if eid in disabled:
+                continue
             u, v = int(tails[eid]), int(heads[eid])
             keys = [(u, v)] if self._directed else [(u, v), (v, u)]
             for key in keys:
@@ -262,9 +285,10 @@ class CapacitatedGraph:
         if arcs is None:
             tails = self._tails.tolist()
             heads = self._heads.tolist()
-            arcs = [(tails[e], heads[e], e) for e in range(self._m)]
+            live = [e for e in range(self._m) if e not in self._disabled]
+            arcs = [(tails[e], heads[e], e) for e in live]
             if not self._directed:
-                arcs.extend((heads[e], tails[e], e) for e in range(self._m))
+                arcs.extend((heads[e], tails[e], e) for e in live)
             self._substrate_cache["bellman_ford_arcs"] = arcs
         return arcs
 
@@ -303,8 +327,27 @@ class CapacitatedGraph:
     # ------------------------------------------------------------------ #
     # Derived graphs
     # ------------------------------------------------------------------ #
-    def with_capacities(self, capacities: Sequence[float] | np.ndarray) -> "CapacitatedGraph":
-        """Return a copy of this graph with the given per-edge capacities."""
+    @property
+    def disabled_edges(self) -> frozenset[int]:
+        """Edge ids excluded from routing (substrate faults).  Disabled
+        edges keep their id and capacity so edge-id-indexed state stays
+        aligned, but contribute no arcs to the adjacency."""
+        return self._disabled
+
+    def with_capacities(
+        self,
+        capacities: Sequence[float] | np.ndarray,
+        *,
+        disabled_edges: Iterable[int] | None = None,
+    ) -> "CapacitatedGraph":
+        """Return a copy of this graph with the given per-edge capacities.
+
+        ``disabled_edges`` replaces the disabled set of the copy; ``None``
+        (the default) inherits this graph's.  The copy starts with a fresh
+        :attr:`substrate_cache`, so nothing derived from the old substrate
+        (shortest-path trees, CSR scratch encodings) can leak across the
+        mutation.
+        """
         capacities = np.asarray(capacities, dtype=np.float64)
         if capacities.shape != (self._m,):
             raise InvalidInstanceError(
@@ -314,7 +357,17 @@ class CapacitatedGraph:
             (int(self._tails[e]), int(self._heads[e]), float(capacities[e]))
             for e in range(self._m)
         ]
-        return CapacitatedGraph(self._n, edges, directed=self._directed)
+        return CapacitatedGraph(
+            self._n,
+            edges,
+            directed=self._directed,
+            disabled_edges=self._disabled if disabled_edges is None else disabled_edges,
+        )
+
+    def with_disabled_edges(self, disabled_edges: Iterable[int]) -> "CapacitatedGraph":
+        """Return a copy with the disabled-edge set *replaced* by the given
+        ids (pass ``()`` to re-enable everything).  Capacities are kept."""
+        return self.with_capacities(self._capacities, disabled_edges=disabled_edges)
 
     def scaled(self, factor: float) -> "CapacitatedGraph":
         """Return a copy with every capacity multiplied by ``factor``."""
@@ -338,6 +391,7 @@ class CapacitatedGraph:
         return (
             self._n == other._n
             and self._directed == other._directed
+            and self._disabled == other._disabled
             and np.array_equal(self._tails, other._tails)
             and np.array_equal(self._heads, other._heads)
             and np.allclose(self._capacities, other._capacities)

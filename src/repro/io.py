@@ -147,6 +147,11 @@ def ufp_instance_to_dict(instance: UFPInstance) -> dict[str, Any]:
             "num_vertices": graph.num_vertices,
             "directed": graph.directed,
             "edges": [[u, v, c] for u, v, c in graph.edge_list()],
+            **(
+                {"disabled_edges": sorted(graph.disabled_edges)}
+                if graph.disabled_edges
+                else {}
+            ),
         },
         "requests": [
             {
@@ -170,6 +175,7 @@ def ufp_instance_from_dict(payload: dict[str, Any]) -> UFPInstance:
         int(graph_payload["num_vertices"]),
         [(int(u), int(v), float(c)) for u, v, c in graph_payload["edges"]],
         directed=bool(graph_payload["directed"]),
+        disabled_edges=[int(e) for e in graph_payload.get("disabled_edges", ())],
     )
     requests = [
         Request(

@@ -53,7 +53,11 @@ from repro.exceptions import InvalidInstanceError
 from repro.flows.allocation import RoutedRequest
 from repro.flows.instance import UFPInstance
 from repro.flows.request import Request
-from repro.flows.streaming import AdmissionEvent, StreamingAllocation
+from repro.flows.streaming import (
+    AdmissionEvent,
+    RevocationEvent,
+    StreamingAllocation,
+)
 from repro.graphs.graph import CapacitatedGraph
 from repro.online.arrivals import Batch
 from repro.types import RunStats
@@ -70,6 +74,7 @@ def drain_engine(
     admission: AdmissionPolicy,
     score_threshold: float,
     trace=None,
+    capacity_guard=None,
 ) -> list[Selection]:
     """Run one batch's admission loop to quiescence and return the admitted
     selections in admission order.
@@ -83,6 +88,17 @@ def drain_engine(
     :class:`repro.core.trace.TraceRecorder` run (the caller is responsible
     for ``begin_path_run``/``finish`` around this call — see
     :func:`repro.online.payments.batch_critical_values`).
+
+    ``capacity_guard`` is the fault-mode feasibility backstop: a callable
+    given the winning :class:`Selection` before commit, returning whether
+    its path physically fits the current (possibly shrunken) substrate.
+    Lemma 3.3 makes the dual prices alone guarantee feasibility only while
+    every ``c_e >= B``; capacity churn can shrink an edge below that, where
+    prices lag one admission behind.  A guard-rejected winner is dropped
+    from the pool permanently (not requeued — its score would re-select it
+    immediately, livelocking the drain), exactly like an arrival that is
+    unroutable on the degraded substrate.  ``None`` (the fault-free path)
+    changes nothing.
     """
     admitted: list[Selection] = []
     while engine.num_pending and duals.within_budget:
@@ -95,6 +111,9 @@ def drain_engine(
             # winner to the pool and stop this batch.
             engine.requeue(selection)
             break
+        if capacity_guard is not None and not capacity_guard(selection):
+            engine.drop_request(selection.index)
+            continue
         if trace is not None:
             trace.record_selected(engine, selection)
         engine.commit(selection)
@@ -135,6 +154,16 @@ class OnlineAuction:
         :func:`repro.online.payments.batch_critical_values`.
     relative_tolerance / absolute_tolerance:
         Bisection tolerances for the payment computation.
+    max_requeues:
+        Fault-injection knob: how many times a fault-revoked winner may
+        re-enter the live pool for possible re-admission.  Bounded so
+        capacity churn cannot livelock the drain loop (a victim revoked,
+        re-admitted and revoked again forever); once exhausted the victim
+        stays rejected.  Irrelevant (and unused) on fault-free streams.
+    compensation_rate:
+        Fault-injection knob: damages paid by the operator on top of the
+        payment refund when revoking an allocation, as a multiple of the
+        refunded payment.
     name:
         Label for the finalized instance / allocation.
     """
@@ -151,6 +180,8 @@ class OnlineAuction:
         use_trace: bool = True,
         relative_tolerance: float = 1e-6,
         absolute_tolerance: float = 1e-9,
+        max_requeues: int = 2,
+        compensation_rate: float = 0.0,
         name: str = "online",
     ) -> None:
         if admission not in ("greedy", "threshold"):
@@ -189,6 +220,16 @@ class OnlineAuction:
         self._payments: dict[int, float] = {}
         self._num_batches = 0
         self._wall_time = 0.0
+        # Fault-injection state.  _faults_active flips on the first substrate
+        # mutation and never back: the fault-free fast paths (batch-local
+        # payment replay pools, cached snapshot reuse) stay bit-identical to
+        # the pre-fault implementation as long as it is False.
+        self._faults_active = False
+        self._max_requeues = int(max_requeues)
+        self._compensation_rate = float(compensation_rate)
+        self._requeue_count: dict[int, int] = {}
+        self._revocations: list[RevocationEvent] = []
+        self._original_capacities = graph.capacities.copy()
         # Dual-state snapshot for payment replays, refreshed only after a
         # batch that admitted someone (non-admitting batches leave the
         # duals untouched, so the cached copy stays valid) — one O(m) copy
@@ -226,6 +267,159 @@ class OnlineAuction:
         """Whether the dual budget still allows admissions."""
         return self._duals.within_budget
 
+    @property
+    def graph(self) -> CapacitatedGraph:
+        """The current substrate (replaced in place by fault events)."""
+        return self._graph
+
+    @property
+    def revocations(self) -> list[RevocationEvent]:
+        """Fault revocations so far, in occurrence order."""
+        return list(self._revocations)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (graceful degradation hooks)
+    # ------------------------------------------------------------------ #
+    def fail_edges(self, edge_ids: Sequence[int]) -> list[RevocationEvent]:
+        """Fail edges: their arcs leave the substrate until repaired.
+
+        Allocations routed over a failed edge are revoked (payment
+        refunded, compensation paid, victim requeued while its requeue
+        budget lasts), every cached shortest-path structure touching the
+        old substrate is invalidated, and future admissions route around
+        the failure.  Dual weights are untouched — a failed edge remembers
+        its congestion price and resumes at it when repaired.
+        """
+        disabled = self._graph.disabled_edges | {int(e) for e in edge_ids}
+        return self._mutate_substrate(disabled, self._graph.capacities)
+
+    def repair_edges(self, edge_ids: Sequence[int]) -> list[RevocationEvent]:
+        """Bring failed edges back (at their pre-failure dual weights)."""
+        disabled = self._graph.disabled_edges - {int(e) for e in edge_ids}
+        return self._mutate_substrate(disabled, self._graph.capacities)
+
+    def resize_edges(
+        self, edge_ids: Sequence[int], factor: float
+    ) -> list[RevocationEvent]:
+        """Multiply the capacities of ``edge_ids`` by ``factor`` (> 0).
+
+        Shrinking below the current load revokes the newest allocations
+        crossing the shrunk edges (LIFO) until the new capacities hold;
+        dual weights carry their accumulated multiplier across the resize
+        (see :meth:`DualWeights.with_capacities`).
+        """
+        if not factor > 0.0:
+            raise InvalidInstanceError("capacity resize factor must be positive")
+        capacities = self._graph.capacities.copy()
+        ids = np.asarray(sorted({int(e) for e in edge_ids}), dtype=np.int64)
+        capacities[ids] *= float(factor)
+        return self._mutate_substrate(self._graph.disabled_edges, capacities)
+
+    def revert_edges(self, edge_ids: Sequence[int]) -> list[RevocationEvent]:
+        """Restore the *original* capacities of ``edge_ids`` exactly.
+
+        Bit-exact undo for capacity churn: multiplying by ``factor`` and
+        later by ``1 / factor`` is not an exact float round-trip, so the
+        auction keeps the construction-time capacity vector and reverts
+        to it directly.
+        """
+        capacities = self._graph.capacities.copy()
+        ids = np.asarray(sorted({int(e) for e in edge_ids}), dtype=np.int64)
+        capacities[ids] = self._original_capacities[ids]
+        return self._mutate_substrate(self._graph.disabled_edges, capacities)
+
+    def _mutate_substrate(
+        self, disabled: frozenset[int] | set[int], capacities: np.ndarray
+    ) -> list[RevocationEvent]:
+        """Apply one substrate mutation: revoke stranded allocations, rescale
+        the dual state, rebind the pricing engine, refresh the payment
+        snapshot.  No-op (and no ``_faults_active`` flip) when the mutation
+        changes nothing."""
+        old_graph = self._graph
+        disabled = frozenset(disabled)
+        caps_changed = not np.array_equal(capacities, old_graph.capacities)
+        if disabled == old_graph.disabled_edges and not caps_changed:
+            return []
+        self._faults_active = True
+        new_graph = old_graph.with_capacities(capacities, disabled_edges=disabled)
+
+        # --- find the stranded allocations -----------------------------
+        newly_failed = disabled - old_graph.disabled_edges
+        revoked: list[tuple[RoutedRequest, str]] = []
+        keep: list[RoutedRequest] = []
+        for item in self._routed:
+            if newly_failed and not newly_failed.isdisjoint(item.edge_ids):
+                revoked.append((item, "edge_failure"))
+            else:
+                keep.append(item)
+        if caps_changed:
+            shrunk = set(
+                np.flatnonzero(capacities < old_graph.capacities).tolist()
+            )
+            if shrunk:
+                load = np.zeros(old_graph.num_edges, dtype=np.float64)
+                for item in keep:
+                    load[list(item.edge_ids)] += item.request.demand
+                overloaded = {
+                    e for e in shrunk if load[e] > capacities[e] + 1e-12
+                }
+                if overloaded:
+                    survivors: list[RoutedRequest] = []
+                    # LIFO: the newest allocations crossing an overloaded
+                    # edge go first — earlier winners keep their routes.
+                    for item in reversed(keep):
+                        if overloaded and not overloaded.isdisjoint(
+                            item.edge_ids
+                        ):
+                            revoked.append((item, "capacity_shrink"))
+                            load[list(item.edge_ids)] -= item.request.demand
+                            overloaded = {
+                                e
+                                for e in overloaded
+                                if load[e] > capacities[e] + 1e-12
+                            }
+                        else:
+                            survivors.append(item)
+                    keep = list(reversed(survivors))
+
+        # --- revocation bookkeeping -------------------------------------
+        events: list[RevocationEvent] = []
+        requeue_ids: list[int] = []
+        for item, reason in revoked:
+            idx = item.request_index
+            refunded = self._payments.pop(idx, 0.0)
+            used = self._requeue_count.get(idx, 0)
+            requeue = used < self._max_requeues
+            if requeue:
+                self._requeue_count[idx] = used + 1
+                requeue_ids.append(idx)
+            events.append(
+                RevocationEvent(
+                    request_index=idx,
+                    batch=self._num_batches,
+                    reason=reason,
+                    edge_ids=item.edge_ids,
+                    value=item.request.value,
+                    refunded=refunded,
+                    compensation=self._compensation_rate * refunded,
+                    requeued=requeue,
+                )
+            )
+        self._routed = keep
+        self._revocations.extend(events)
+
+        # --- rebind the price state and the engine ----------------------
+        if caps_changed:
+            self._duals = self._duals.with_capacities(capacities)
+        for idx in requeue_ids:
+            self._engine.reinstate(idx)
+        self._engine.rebind_substrate(new_graph, self._duals)
+        self._graph = new_graph
+        if self._compute_payments:
+            # The replay snapshot must describe the *current* substrate.
+            self._snapshot = self._duals.copy()
+        return events
+
     # ------------------------------------------------------------------ #
     # Stream consumption
     # ------------------------------------------------------------------ #
@@ -250,12 +444,52 @@ class OnlineAuction:
             self._arrival_time.append(float(time))
 
         new_indices = self._engine.add_requests(new_requests)
+        if self._compute_payments and self._faults_active:
+            # Fault mode: requeued revocation victims are leftovers that CAN
+            # be admitted, so the batch-local replay-pool optimization below
+            # is unsound — replay over every live request instead.
+            pool_indices = [
+                i
+                for i in range(self._engine.num_requests)
+                if self._engine.is_live(i)
+            ]
+        else:
+            pool_indices = new_indices
+        guard = None
+        guard_dropped: list[int] = []
+        if self._faults_active:
+            # Feasibility backstop on a degraded substrate: a churn-shrunk
+            # edge can sit below B, where dual prices no longer rule out an
+            # overloading admission (see drain_engine).  Never active
+            # fault-free, so the zero-intensity path stays bit-identical.
+            load = np.zeros(self._graph.num_edges, dtype=np.float64)
+            for item in self._routed:
+                load[list(item.edge_ids)] += item.request.demand
+            capacities = self._graph.capacities
+
+            def guard(selection: Selection) -> bool:
+                demand = self._engine.request_at(selection.index).demand
+                edges = list(selection.edge_ids)
+                if np.any(load[edges] + demand > capacities[edges] + 1e-12):
+                    guard_dropped.append(selection.index)
+                    return False
+                load[edges] += demand
+                return True
+
         admitted = drain_engine(
             self._engine,
             self._duals,
             admission=self._admission,
             score_threshold=self._threshold,
+            capacity_guard=guard,
         )
+        if guard_dropped:
+            # A guard-dropped request is out of the pool for good; the
+            # payment replays below must not resurrect it (without it, the
+            # replayed drain makes exactly the live decisions: the drop
+            # touched no dual state).
+            dropped_set = set(guard_dropped)
+            pool_indices = [i for i in pool_indices if i not in dropped_set]
 
         events: list[AdmissionEvent] = []
         for selection in admitted:
@@ -282,18 +516,19 @@ class OnlineAuction:
         if self._compute_payments and admitted:
             from repro.online.payments import batch_critical_values
 
-            # The replay pool is exactly this batch's arrivals.  Leftovers
-            # from earlier batches can never be admitted (greedy leaves the
-            # pool non-empty only once the budget has fired, which is
-            # final; threshold prices out against monotone scores) and,
-            # never being the argmin below the threshold, never influence
-            # which other requests a drain admits — so excluding them is
-            # behavior-identical and keeps replay cost O(batch), not
-            # O(stream).
+            # Fault-free, the replay pool is exactly this batch's arrivals.
+            # Leftovers from earlier batches can never be admitted (greedy
+            # leaves the pool non-empty only once the budget has fired,
+            # which is final; threshold prices out against monotone scores)
+            # and, never being the argmin below the threshold, never
+            # influence which other requests a drain admits — so excluding
+            # them is behavior-identical and keeps replay cost O(batch),
+            # not O(stream).  Under faults both premises break (weights can
+            # drop, victims requeue), so pool_indices is the full live pool.
             payments = batch_critical_values(
                 self._graph,
                 self._snapshot,
-                [(i, self._engine.request_at(i)) for i in new_indices],
+                [(i, self._engine.request_at(i)) for i in pool_indices],
                 [selection.index for selection in admitted],
                 admission=self._admission,
                 score_threshold=self._threshold,
@@ -348,19 +583,28 @@ class OnlineAuction:
         payments = np.zeros(num_arrived, dtype=np.float64)
         for index, payment in self._payments.items():
             payments[index] = payment
+        extra = {
+            "final_dual_budget": self._duals.budget,
+            "dual_budget_limit": self._duals.budget_limit,
+            "epsilon": self._epsilon,
+            "capacity_bound": self._duals.capacity_bound,
+            "num_batches": float(self._num_batches),
+            **self._engine.stats.as_extra(),
+        }
+        if self._faults_active:
+            extra["fault_revocations"] = float(len(self._revocations))
+            extra["fault_refunded"] = sum(
+                event.refunded for event in self._revocations
+            )
+            extra["fault_compensation"] = sum(
+                event.compensation for event in self._revocations
+            )
         stats = RunStats(
             iterations=len(self._routed),
             shortest_path_calls=self._engine.stats.dijkstra_calls,
             stopped_by_budget=not self._duals.within_budget,
             wall_time_s=self._wall_time,
-            extra={
-                "final_dual_budget": self._duals.budget,
-                "dual_budget_limit": self._duals.budget_limit,
-                "epsilon": self._epsilon,
-                "capacity_bound": self._duals.capacity_bound,
-                "num_batches": float(self._num_batches),
-                **self._engine.stats.as_extra(),
-            },
+            extra=extra,
         )
         policy = (
             f"threshold={self._threshold:g}"
@@ -376,4 +620,5 @@ class OnlineAuction:
             rejected=rejected,
             num_batches=self._num_batches,
             payments=payments,
+            revocations=list(self._revocations),
         )

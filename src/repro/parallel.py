@@ -55,6 +55,7 @@ import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
@@ -65,6 +66,7 @@ __all__ = [
     "derive_seeds",
     "worker_payload",
     "in_worker",
+    "WorkerError",
     "JOBS_ENV_VAR",
 ]
 
@@ -83,6 +85,40 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 _WORKER_FN: Callable[..., Any] | None = None
 _WORKER_PAYLOAD: Any = None
 _IN_WORKER: bool = False
+
+
+class WorkerError(RuntimeError):
+    """A captured per-task failure from ``pmap(..., on_error="capture")``.
+
+    Wraps both exceptions raised by ``fn`` (``error_type`` is the original
+    exception class name, the message its ``str``) and worker-process
+    deaths — a task whose worker segfaults or is SIGKILLed yields
+    ``error_type="WorkerCrash"``.  Captured failures use the same wrapper on
+    the serial and the pool paths, so ``jobs=1`` and ``jobs=N`` stay
+    result-identical under the determinism contract.
+    """
+
+    def __init__(self, message: str, *, error_type: str = "WorkerError") -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+    def __reduce__(self):
+        return (_rebuild_worker_error, (str(self), self.error_type))
+
+
+def _rebuild_worker_error(message: str, error_type: str) -> "WorkerError":
+    return WorkerError(message, error_type=error_type)
+
+
+def _capture(exc: BaseException) -> WorkerError:
+    if isinstance(exc, WorkerError):
+        return exc
+    return WorkerError(str(exc), error_type=type(exc).__name__)
+
+
+#: The WorkerError produced when a worker process dies (and keeps dying on
+#: the isolated retry) while executing one task.
+_CRASH_MESSAGE = "worker process died while executing the task"
 
 
 def worker_payload() -> Any:
@@ -173,6 +209,22 @@ def _invoke(task: Any) -> Any:
     return _WORKER_FN(task)
 
 
+def _invoke_capture_chunk(chunk: Sequence[Any]) -> list[Any]:
+    """Worker entry point for capture mode: one chunk, exceptions wrapped.
+
+    Capturing *inside* the worker keeps non-picklable exception types from
+    killing the result channel; only the :class:`WorkerError` wrapper (plain
+    strings) crosses the process boundary.
+    """
+    out: list[Any] = []
+    for task in chunk:
+        try:
+            out.append(_WORKER_FN(task))
+        except Exception as exc:
+            out.append(_capture(exc))
+    return out
+
+
 def _default_chunk_size(num_tasks: int, jobs: int) -> int:
     # Four chunks per worker balances scheduling slack against per-chunk
     # pickling overhead; tiny task lists degenerate to one task per chunk.
@@ -186,6 +238,7 @@ def pmap(
     jobs: int | None = None,
     chunk_size: int | None = None,
     payload: Any = None,
+    on_error: str = "raise",
 ) -> list[R]:
     """Apply ``fn`` to every task, serially or over a process pool.
 
@@ -206,8 +259,20 @@ def pmap(
     payload:
         Large read-only state shipped once per worker instead of per task;
         read it inside ``fn`` via :func:`worker_payload`.
+    on_error:
+        ``"raise"`` (default): the first exception propagates and a dead
+        worker process aborts the fan-out with ``BrokenProcessPool``.
+        ``"capture"``: every task yields either its result or a
+        :class:`WorkerError` describing its failure, in task order — an
+        exception (or crash) in one task never costs the others' results.
+        A worker-process death poisons the shared pool, so the affected
+        chunks are re-run one task at a time in fresh single-worker pools;
+        the task that kills its worker again is reported as a
+        ``WorkerCrash`` and the rest complete normally.
     """
     global _WORKER_FN, _WORKER_PAYLOAD
+    if on_error not in ("raise", "capture"):
+        raise ValueError(f"on_error must be 'raise' or 'capture', got {on_error!r}")
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     jobs = min(jobs, max(1, len(tasks)))
@@ -216,6 +281,14 @@ def pmap(
         prev_fn, prev_payload = _WORKER_FN, _WORKER_PAYLOAD
         _WORKER_FN, _WORKER_PAYLOAD = fn, payload
         try:
+            if on_error == "capture":
+                results: list[Any] = []
+                for task in tasks:
+                    try:
+                        results.append(fn(task))
+                    except Exception as exc:
+                        results.append(_capture(exc))
+                return results
             return [fn(task) for task in tasks]
         finally:
             _WORKER_FN, _WORKER_PAYLOAD = prev_fn, prev_payload
@@ -262,7 +335,69 @@ def pmap(
                 initializer=_spawn_child_init,
                 initargs=(fn, payload, backend_name),
             )
+        if on_error != "capture":
+            with executor:
+                return list(executor.map(_invoke, tasks, chunksize=chunk_size))
+        chunks = [
+            tasks[start : start + chunk_size]
+            for start in range(0, len(tasks), chunk_size)
+        ]
+        by_chunk: list[list[Any] | None] = [None] * len(chunks)
+        broken: list[int] = []
         with executor:
-            return list(executor.map(_invoke, tasks, chunksize=chunk_size))
+            futures = [
+                executor.submit(_invoke_capture_chunk, chunk) for chunk in chunks
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    by_chunk[index] = future.result()
+                except BrokenProcessPool:
+                    # A worker died; every not-yet-finished chunk of the
+                    # poisoned pool lands here and is retried in isolation
+                    # below.
+                    broken.append(index)
+                except Exception as exc:
+                    by_chunk[index] = [_capture(exc) for _ in chunks[index]]
+        for index in broken:
+            by_chunk[index] = [
+                _run_task_isolated(task, use_fork, fn, payload, backend_name)
+                for task in chunks[index]
+            ]
+        return [result for chunk in by_chunk for result in chunk]
     finally:
         _WORKER_FN, _WORKER_PAYLOAD = prev_fn, prev_payload
+
+
+def _run_task_isolated(
+    task: Any,
+    use_fork: bool,
+    fn: Callable[..., Any],
+    payload: Any,
+    backend_name: str | None,
+) -> Any:
+    """Run one task in a fresh single-worker pool (capture-mode crash retry).
+
+    Called with the worker globals still installed, so a fork child inherits
+    ``fn``/``payload`` exactly like the main pool's workers did.  If the
+    task kills this dedicated worker too, the crash is deterministic — it is
+    reported as a ``WorkerCrash`` :class:`WorkerError` instead of retried
+    again.
+    """
+    if use_fork:
+        context = multiprocessing.get_context("fork")
+        executor = ProcessPoolExecutor(
+            max_workers=1, mp_context=context, initializer=_fork_child_init
+        )
+    else:  # pragma: no cover - non-fork platforms only
+        context = multiprocessing.get_context()
+        executor = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=context,
+            initializer=_spawn_child_init,
+            initargs=(fn, payload, backend_name),
+        )
+    try:
+        with executor:
+            return executor.submit(_invoke_capture_chunk, [task]).result()[0]
+    except BrokenProcessPool:
+        return WorkerError(_CRASH_MESSAGE, error_type="WorkerCrash")

@@ -63,6 +63,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_robustness(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failing/crashing cell this many extra times before "
+        "quarantining it (default: 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        help="seconds to sleep before the first retry (doubled each further "
+        "attempt; default: 0)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        help="wall-clock budget per cell in seconds; a cell exceeding it "
+        "fails (and is retried/quarantined like any other failure)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-scenarios",
@@ -84,11 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="wipe the store first instead of resuming into it",
     )
     _add_common(run_parser)
+    _add_robustness(run_parser)
 
     resume_parser = sub.add_parser(
         "resume", help="continue the campaign a store was initialized with"
     )
     _add_common(resume_parser)
+    _add_robustness(resume_parser)
 
     report_parser = sub.add_parser("report", help="render a store's comparison table")
     _add_common(report_parser)
@@ -121,6 +147,7 @@ def _emit(result, store: ResultStore | None, as_json: bool) -> int:
             "computed": result.computed,
             "skipped": result.skipped,
             "invalidated": result.invalidated,
+            "failed": result.failed,
             "content_hash": content_hash,
         }
         print(dumps_strict(payload, indent=2))
@@ -128,7 +155,10 @@ def _emit(result, store: ResultStore | None, as_json: bool) -> int:
         title = f"Scenario campaign: {result.suite['name']}"
         print(render_report(result.records, title=title, content_hash=content_hash))
         print(f"  {result.summary_line()}")
-    return 0 if result.all_cells_ok else 1
+    # Nonzero when any structural claim failed OR any cell was quarantined
+    # (crashed/timed out through every retry) — a campaign that "completed"
+    # by quarantining cells must not look green to CI.
+    return 0 if result.all_cells_ok and not result.failed else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -192,6 +222,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             store=store,
             jobs=args.jobs,
             progress=None if args.json else (lambda msg: print(f"  {msg}")),
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            cell_timeout=args.cell_timeout,
         )
         return _emit(result, store, args.json)
 
@@ -206,6 +239,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         jobs=args.jobs,
         fresh=bool(getattr(args, "fresh", False)),
         progress=None if args.json else (lambda msg: print(f"  {msg}")),
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        cell_timeout=args.cell_timeout,
     )
     return _emit(result, store, args.json)
 

@@ -42,7 +42,7 @@ from repro.flows.instance import UFPInstance
 from repro.scenarios.specs import CellSpec
 from repro.scenarios.topologies import Topology, build_topology
 
-__all__ = ["resolve_base_capacity", "build_cell_instance"]
+__all__ = ["resolve_base_capacity", "build_cell_instance", "cell_rng", "ARRIVAL_STREAM", "FAULT_STREAM"]
 
 # Sub-stream labels: each concern draws from default_rng([seed, label]) so
 # streams never interfere regardless of how much each consumes.  Topology
@@ -53,6 +53,10 @@ __all__ = ["resolve_base_capacity", "build_cell_instance"]
 _TOPOLOGY_STREAM = 1
 _REQUEST_STREAM = 2
 ARRIVAL_STREAM = 3
+# Fault-event draws (failure/churn/jam schedules) get their own stream so
+# adding faults to a mode never perturbs the topology/request/arrival draws
+# of fault-free cells sharing the same seeds.
+FAULT_STREAM = 4
 
 
 def cell_rng(seed: int, stream: int) -> np.random.Generator:

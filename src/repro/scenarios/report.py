@@ -35,6 +35,20 @@ DEFAULT_COLUMNS = (
     "ratio",
     "value_ratio",
     "revenue",
+    # Fault-injection columns (present only on cells that ran with a
+    # non-zero-intensity fault schedule; see repro.faults).
+    "fault_events",
+    "fault_revocations",
+    "fault_jam_arrived",
+    "fault_jam_admitted",
+    "fault_upfront_fees",
+    "fault_net_revenue",
+    "fault_honest_share",
+    # Quarantine columns (present only on cells that failed through every
+    # retry; see the campaign runner's crash tolerance).
+    "failed",
+    "error_type",
+    "attempts",
     "claims_ok",
 )
 

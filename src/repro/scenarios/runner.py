@@ -33,6 +33,9 @@ Workload modes (the ``"mode"`` axis):
 
 from __future__ import annotations
 
+import os
+import signal
+import time as _time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Mapping, Sequence
@@ -51,11 +54,21 @@ from repro.online.arrivals import (
     trace_arrivals,
 )
 from repro.online.auction import OnlineAuction
-from repro.scenarios.regimes import ARRIVAL_STREAM, build_cell_instance, cell_rng
+from repro.parallel import WorkerError
+from repro.scenarios.regimes import (
+    ARRIVAL_STREAM,
+    FAULT_STREAM,
+    build_cell_instance,
+    cell_rng,
+)
 from repro.scenarios.specs import CellSpec, cell_hash, enumerate_cells, normalize_suite
 from repro.scenarios.store import ResultStore
 
-__all__ = ["CampaignResult", "run_cell", "run_campaign"]
+__all__ = ["CampaignResult", "CellTimeoutError", "run_cell", "run_campaign"]
+
+
+class CellTimeoutError(Exception):
+    """A cell exceeded its ``cell_timeout`` wall-clock budget."""
 
 
 @dataclass
@@ -67,6 +80,7 @@ class CampaignResult:
     computed: list[str] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
     invalidated: list[str] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
 
     @property
     def num_cells(self) -> int:
@@ -81,6 +95,7 @@ class CampaignResult:
             f"cells: {self.num_cells} total, {len(self.computed)} computed, "
             f"{len(self.skipped)} skipped"
             + (f", {len(self.invalidated)} invalidated" if self.invalidated else "")
+            + (f", {len(self.failed)} FAILED (quarantined)" if self.failed else "")
         )
 
 
@@ -225,9 +240,26 @@ def _online_metrics(
         admission=mode.get("admission", "greedy"),
         score_threshold=float(mode.get("score_threshold", 1.0)),
         compute_payments=bool(mode.get("payments", False)),
+        max_requeues=int(mode.get("max_requeues", 2)),
+        compensation_rate=float(mode.get("compensation_rate", 0.0)),
         name=instance.name,
     )
-    online = auction.run(stream)
+    fault_report = None
+    if mode.get("faults") is not None:
+        from repro.faults import FaultSchedule, run_with_faults
+
+        schedule = FaultSchedule(
+            dict(mode["faults"]),
+            seed=cell_rng(cell.workload_seed, FAULT_STREAM),
+        )
+        online, report = run_with_faults(auction, stream, schedule)
+        # A zero-intensity schedule must leave the record bit-identical to
+        # the fault-free mode (the differential store-hash tests rely on
+        # it), so degradation columns appear only when faults could fire.
+        if not schedule.zero_intensity:
+            fault_report = report
+    else:
+        online = auction.run(stream)
     outcome.claim("online allocation is feasible", online.is_feasible())
 
     record: dict[str, Any] = {
@@ -257,6 +289,16 @@ def _online_metrics(
     if bound is not None:
         record["bound"] = bound
         record["ratio"] = ratio(bound, float(online.value))
+    if fault_report is not None:
+        record.update(
+            {key: float(value) for key, value in fault_report.as_extra().items()}
+        )
+        # How much admitted honest value survived relative to total admitted
+        # value — the jamming-damage headline number.
+        total_value = float(online.value)
+        record["fault_honest_share"] = (
+            fault_report.honest_value / total_value if total_value > 0 else 1.0
+        )
     return record
 
 
@@ -268,6 +310,21 @@ def run_cell(cell: CellSpec) -> CellOutcome:
     contract and records hash identically at any ``jobs``.
     """
     outcome = CellOutcome()
+    inject = cell.mode.get("inject_failure")
+    if inject:
+        # Chaos-testing hook: a mode may ask its own cell to fail, so the
+        # quarantine/retry machinery can be exercised end to end from a
+        # plain suite spec (the CI chaos lane does exactly this).
+        if inject == "exception":
+            raise RuntimeError(f"injected failure in cell {cell.key}")
+        if inject == "sigkill":
+            if parallel.in_worker():
+                os.kill(os.getpid(), signal.SIGKILL)
+            # Serial fallback: killing the only process would take the whole
+            # campaign down, so degrade to an ordinary failure.
+            raise RuntimeError(f"injected failure in cell {cell.key}")
+        if inject == "timeout":
+            _time.sleep(3600.0)
     instance, _topology, base_capacity = build_cell_instance(cell)
     record = _base_record(cell, instance, base_capacity)
     if cell.mode["kind"] == "online":
@@ -291,6 +348,55 @@ def _wave_size(jobs: int | None) -> int:
     return max(4, 2 * parallel.resolve_jobs(jobs))
 
 
+def _guarded_run_cell(task: tuple[CellSpec, float | None]) -> CellOutcome:
+    """Run one cell under an optional wall-clock budget.
+
+    The timeout uses ``SIGALRM``, so it fires even inside a single solver
+    call (pure-Python loops included); pool workers execute tasks on their
+    main thread, which is where Python delivers signals.  With no timeout
+    (or on platforms without ``SIGALRM``) this is exactly :func:`run_cell`.
+    """
+    cell, timeout = task
+    if not timeout or not hasattr(signal, "SIGALRM"):
+        return run_cell(cell)
+
+    def _on_alarm(signum, frame):  # pragma: no cover - timing dependent
+        raise CellTimeoutError(f"cell {cell.key} timed out after {timeout:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    try:
+        return run_cell(cell)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _quarantine_record(
+    cell: CellSpec, error: BaseException, attempts: int
+) -> dict[str, Any]:
+    """The failed-cell record committed to the store (cell quarantine).
+
+    Deliberately shaped like a normal record (same identity columns,
+    ``claims_ok`` false) so reporting, store hashing and resume treat it
+    uniformly; ``failed`` marks it non-skippable — a later ``resume``
+    retries the cell instead of trusting the failure forever.
+    """
+    return {
+        "key": cell.key,
+        "topology": cell.topology["name"],
+        "family": cell.topology.get("family"),
+        "regime": cell.regime["name"],
+        "mode": cell.mode["name"],
+        "kind": cell.mode["kind"],
+        "failed": True,
+        "error": str(error),
+        "error_type": getattr(error, "error_type", type(error).__name__),
+        "attempts": attempts,
+        "claims_ok": False,
+    }
+
+
 def run_campaign(
     suite: Mapping[str, Any],
     *,
@@ -298,6 +404,9 @@ def run_campaign(
     jobs: int | None = None,
     fresh: bool = False,
     progress: Callable[[str], None] | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+    cell_timeout: float | None = None,
 ) -> CampaignResult:
     """Run a scenario campaign, resuming from ``store`` when it has results.
 
@@ -305,10 +414,20 @@ def run_campaign(
     skipped; cells whose spec or seed changed are recomputed (their old
     records are shadowed by the newer manifest entries).  Without a store
     the campaign runs fully in memory.
+
+    The runner is crash-tolerant: a cell that raises, times out
+    (``cell_timeout`` seconds of wall clock) or kills its worker process is
+    retried up to ``retries`` times (sleeping ``retry_backoff * 2**attempt``
+    seconds between waves), and if it still fails it is *quarantined* — a
+    failed record is committed to the store and reported, and the rest of
+    the campaign completes.  Quarantined cells are never skipped on resume:
+    a later ``resume`` retries them (deterministically — same spec, same
+    seeds) instead of trusting the failure forever.
     """
     suite = normalize_suite(suite)
     cells = enumerate_cells(suite)
     hashes = {cell.key: cell_hash(cell) for cell in cells}
+    retries = max(0, int(retries))
 
     completed: dict[str, str] = {}
     stored: dict[str, dict] = {}
@@ -318,13 +437,15 @@ def run_campaign(
         stored = store.records(hashes)
 
     # A cell is skippable only when its manifest entry matches the current
-    # cell hash AND its record line is intact — a damaged results file
-    # (the crash scenario the store exists for) degrades to recomputation,
-    # never to an error.
+    # cell hash AND its record line is intact AND the record is a success —
+    # a damaged results file or a quarantined failure (the crash scenarios
+    # the store exists for) degrades to recomputation, never to an error.
     skipped = [
         cell.key
         for cell in cells
-        if completed.get(cell.key) == hashes[cell.key] and cell.key in stored
+        if completed.get(cell.key) == hashes[cell.key]
+        and cell.key in stored
+        and not stored[cell.key].get("failed")
     ]
     invalidated = [
         cell.key
@@ -335,6 +456,7 @@ def run_campaign(
     pending = [cell for cell in cells if cell.key not in skipped_set]
 
     records: dict[str, dict] = {key: stored[key] for key in skipped}
+    failed_keys: list[str] = []
 
     wave = _wave_size(jobs)
     for start in range(0, len(pending), wave):
@@ -343,9 +465,41 @@ def run_campaign(
             progress(
                 f"running cells {start + 1}..{start + len(chunk)} of {len(pending)}"
             )
-        outcomes = map_cells(run_cell, chunk, jobs=jobs)
-        for cell, outcome in zip(chunk, outcomes):
-            record = outcome.rows[0]
+        remaining = chunk
+        results: dict[str, CellOutcome | WorkerError] = {}
+        attempts_used: dict[str, int] = {}
+        for attempt in range(retries + 1):
+            if not remaining:
+                break
+            if attempt and retry_backoff > 0.0:
+                _time.sleep(retry_backoff * (2.0 ** (attempt - 1)))
+            outcomes = map_cells(
+                _guarded_run_cell,
+                [(cell, cell_timeout) for cell in remaining],
+                jobs=jobs,
+                on_error="capture",
+            )
+            still_failing: list[CellSpec] = []
+            for cell, outcome in zip(remaining, outcomes):
+                attempts_used[cell.key] = attempt + 1
+                results[cell.key] = outcome
+                if isinstance(outcome, WorkerError):
+                    still_failing.append(cell)
+                    if progress is not None:
+                        progress(
+                            f"cell {cell.key} failed (attempt {attempt + 1}"
+                            f"/{retries + 1}): {outcome}"
+                        )
+            remaining = still_failing
+        for cell in chunk:
+            outcome = results[cell.key]
+            if isinstance(outcome, WorkerError):
+                record = _quarantine_record(
+                    cell, outcome, attempts_used[cell.key]
+                )
+                failed_keys.append(cell.key)
+            else:
+                record = outcome.rows[0]
             records[cell.key] = record
             if store is not None:
                 store.append(cell.key, hashes[cell.key], record)
@@ -358,4 +512,5 @@ def run_campaign(
         computed=[cell.key for cell in pending],
         skipped=skipped,
         invalidated=invalidated,
+        failed=failed_keys,
     )

@@ -40,9 +40,47 @@ from repro.scenarios.specs import normalize_suite, suite_hash
 __all__ = ["ResultStore"]
 
 
+def _repair_trailing(path: Path) -> bool:
+    """Truncate a torn trailing line (kill mid-write left no ``\\n``).
+
+    Readers already skip unparseable lines, but an *append* onto a torn
+    tail would merge the new record into the fragment — losing committed
+    work and making the store hash diverge.  Truncating back to the last
+    complete line turns the crash artifact into a plain missing cell,
+    which resume then recomputes.  Returns whether a repair happened.
+    """
+    if not path.exists():
+        return False
+    with path.open("rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size == 0:
+            return False
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return False
+        # Scan backwards for the last newline and cut everything after it.
+        position = size
+        last_newline = -1
+        while position > 0 and last_newline < 0:
+            start = max(0, position - 4096)
+            handle.seek(start)
+            data = handle.read(position - start)
+            index = data.rfind(b"\n")
+            if index >= 0:
+                last_newline = start + index
+            position = start
+        handle.truncate(last_newline + 1 if last_newline >= 0 else 0)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return True
+
+
 def _append_line(path: Path, line: str) -> None:
     """Append one JSONL line with flush + fsync (a torn final line is
-    tolerated by the readers, a lost-but-acknowledged line is not)."""
+    repaired first so the new line can never merge with a crash fragment;
+    a lost-but-acknowledged line is not tolerated)."""
+    _repair_trailing(path)
     with path.open("a", encoding="utf-8") as handle:
         handle.write(line + "\n")
         handle.flush()

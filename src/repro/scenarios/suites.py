@@ -1,6 +1,6 @@
 """Built-in scenario suites.
 
-Three pinned campaigns ship with the library:
+Four pinned campaigns ship with the library:
 
 * ``smoke`` — the CI smoke lane: 2 topologies × 2 regimes × offline+online,
   each cell tiny.  Exists to exercise run → kill → resume end to end in
@@ -15,6 +15,12 @@ Three pinned campaigns ship with the library:
   ``scale ∈ {0.5, 1, 2, 4, 8}``, offline with payments on, so the ladder
   reports how ratio, admission rate and revenue move as the instance
   enters the paper's regime.
+* ``chaos`` — the fault-injection lane: two small topologies, one regime,
+  online modes sweeping :mod:`repro.faults` intensities (a fault-free
+  baseline, link failures with repair, capacity churn, a jamming stream
+  with an upfront fee, and everything at once).  Exists so the degradation
+  path — revocations, refunds, requeues, jam accounting — runs end to end
+  on every CI pass.
 
 All three are plain dicts — copy one, edit it, and pass it to
 ``repro.scenarios run`` as a JSON file to build your own campaign.
@@ -159,10 +165,91 @@ def _capacity_ladder_suite() -> dict[str, Any]:
     }
 
 
+def _chaos_suite() -> dict[str, Any]:
+    base = {
+        "kind": "online",
+        "epsilon": "auto",
+        "arrivals": "bursty",
+        "burst_size": 4,
+        "compare_offline": False,
+    }
+    return {
+        "name": "chaos",
+        "seed": 29,
+        "description": (
+            "fault-injection lane: failures, churn and jamming over small "
+            "topologies (CI chaos smoke)"
+        ),
+        "topologies": [
+            {"name": "grid", "family": "grid", "rows": 3, "cols": 3},
+            {"name": "wax", "family": "waxman", "num_vertices": 12},
+        ],
+        "regimes": [
+            {
+                "name": "logm",
+                "capacity": {"scale_log_m": 2.0, "min": 2.0},
+                "num_requests": 16,
+            }
+        ],
+        "modes": [
+            # Intensities are deliberately violent — the lane exists to make
+            # the degradation paths (revocation, refund, requeue, jam
+            # accounting) actually fire on these tiny instances, not to
+            # model a realistic failure rate.
+            {"name": "stream", **base},
+            {
+                "name": "failures",
+                **base,
+                "faults": {"edge_failure_rate": 1.5, "failure_duration": 2},
+            },
+            {
+                "name": "churn",
+                **base,
+                "faults": {
+                    "churn_rate": 1.5,
+                    "churn_factor_range": [0.05, 0.35],
+                    "churn_edges": 6,
+                    "churn_duration": 2,
+                },
+            },
+            {
+                "name": "jam",
+                **base,
+                "payments": True,
+                "compensation_rate": 0.1,
+                "faults": {
+                    "jam_rate": 1.5,
+                    "jam_demand_range": [0.5, 1.0],
+                    "jam_value_range": [0.01, 0.05],
+                    "upfront_fee": 0.02,
+                },
+            },
+            {
+                "name": "everything",
+                **base,
+                "payments": True,
+                "compensation_rate": 0.1,
+                "faults": {
+                    "edge_failure_rate": 1.5,
+                    "failure_duration": 2,
+                    "churn_rate": 1.5,
+                    "churn_factor_range": [0.05, 0.35],
+                    "churn_edges": 6,
+                    "churn_duration": 2,
+                    "jam_rate": 1.0,
+                    "jam_value_range": [0.01, 0.05],
+                    "upfront_fee": 0.01,
+                },
+            },
+        ],
+    }
+
+
 BUILTIN_SUITES = {
     "smoke": _smoke_suite,
     "demo": _demo_suite,
     "capacity-ladder": _capacity_ladder_suite,
+    "chaos": _chaos_suite,
 }
 
 

@@ -153,3 +153,61 @@ def test_property_incremental_budget_matches_recomputation(caps, epsilon, select
         assert np.all(current >= previous - 1e-15)
         previous = current
     assert duals.budget == pytest.approx(duals.recompute_budget(), rel=1e-9)
+
+
+class TestWithCapacities:
+    """Capacity churn: carrying dual state across a substrate resize."""
+
+    def test_budget_contribution_preserved(self):
+        duals = DualWeights(np.array([2.0, 4.0, 8.0]), 0.5, capacity_bound=2.0)
+        duals.apply_selection([0, 1], demand=1.0)
+        resized = duals.with_capacities(np.array([1.0, 4.0, 16.0]))
+        # c'_e y'_e == c_e y_e edge-wise, so the budget does not jump.
+        np.testing.assert_allclose(
+            np.array([1.0, 4.0, 16.0]) * resized.weights,
+            np.array([2.0, 4.0, 8.0]) * duals.weights,
+        )
+        assert resized.budget == pytest.approx(duals.budget, rel=1e-12)
+
+    def test_weights_rescaled_by_capacity_ratio(self):
+        duals = DualWeights(np.array([2.0, 4.0]), 0.5)
+        resized = duals.with_capacities(np.array([4.0, 1.0]))
+        np.testing.assert_allclose(
+            resized.weights, duals.weights * np.array([2.0 / 4.0, 4.0 / 1.0])
+        )
+
+    def test_fresh_edge_lands_on_initial_weight(self):
+        """An untouched edge's weight maps 1/c -> 1/c', indistinguishable
+        from an edge that started at the new capacity."""
+        duals = DualWeights(np.array([2.0, 4.0]), 0.5)
+        resized = duals.with_capacities(np.array([8.0, 4.0]))
+        assert resized.weights[0] == pytest.approx(1.0 / 8.0)
+
+    def test_epsilon_and_bound_preserved(self):
+        duals = DualWeights(np.array([2.0, 4.0]), 0.25, capacity_bound=2.0)
+        resized = duals.with_capacities(np.array([3.0, 5.0]))
+        assert resized.epsilon == duals.epsilon
+        assert resized.capacity_bound == duals.capacity_bound
+        assert resized.budget_limit == duals.budget_limit
+
+    def test_resize_does_not_mutate_original(self):
+        duals = DualWeights(np.array([2.0, 4.0]), 0.5)
+        before = duals.weights.copy()
+        duals.with_capacities(np.array([1.0, 1.0]))
+        np.testing.assert_array_equal(duals.weights, before)
+
+    def test_rejects_bad_capacities(self):
+        duals = DualWeights(np.array([2.0, 4.0]), 0.5)
+        with pytest.raises(ValueError, match="same edge count"):
+            duals.with_capacities(np.array([2.0, 4.0, 8.0]))
+        with pytest.raises(ValueError, match="positive"):
+            duals.with_capacities(np.array([2.0, 0.0]))
+
+    def test_round_trip_resize_is_identity(self):
+        duals = DualWeights(np.array([2.0, 4.0, 8.0]), 0.5, capacity_bound=2.0)
+        duals.apply_selection([1, 2], demand=0.7)
+        back = duals.with_capacities(
+            np.array([1.0, 9.0, 3.0])
+        ).with_capacities(np.array([2.0, 4.0, 8.0]))
+        np.testing.assert_allclose(back.weights, duals.weights, rtol=1e-15)
+        assert back.budget == pytest.approx(duals.budget, rel=1e-15)

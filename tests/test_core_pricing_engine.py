@@ -453,3 +453,112 @@ class TestTreeMemoLRU:
             again.stats.extra["pricing_memo_misses"]
             <= extra["pricing_memo_misses"]
         )
+
+
+# --------------------------------------------------------------------- #
+# Substrate mutation (fault injection): reinstate + rebind_substrate
+# --------------------------------------------------------------------- #
+class TestSubstrateRebind:
+    def _setup(self, seed=31):
+        instance = random_instance(
+            num_vertices=9, edge_probability=0.35, capacity=12.0,
+            num_requests=18, demand_range=(0.4, 1.0), seed=seed,
+        )
+        duals = DualWeights(instance.graph.capacities, 0.5)
+        engine = PathPricingEngine(
+            instance.graph, list(instance.requests), duals,
+            tie_tolerance=1e-15, index_tie_break=True, remove_selected=True,
+        )
+        return instance, duals, engine
+
+    def test_reinstate_returns_selection_to_pool(self):
+        _instance, _duals, engine = self._setup()
+        selection = engine.select()
+        engine.commit(selection)
+        assert not engine.is_live(selection.index)
+        pending_before = engine.num_pending
+        engine.reinstate(selection.index)
+        assert engine.is_live(selection.index)
+        assert engine.num_pending == pending_before + 1
+        engine.reinstate(selection.index)  # no-op when already live
+        assert engine.num_pending == pending_before + 1
+
+    def test_rebind_rehomes_tree_memo_to_the_new_graph(self):
+        from repro.core.pricing_engine import _TREE_MEMO_KEY
+
+        instance, duals, engine = self._setup()
+        engine.commit(engine.select())  # warm the old graph's memo
+        old_graph = instance.graph
+        assert _TREE_MEMO_KEY in old_graph.substrate_cache
+        new_graph = old_graph.with_capacities(old_graph.capacities * 2.0)
+        engine.rebind_substrate(new_graph, duals.with_capacities(new_graph.capacities))
+        assert engine._tree_memo is new_graph.substrate_cache[_TREE_MEMO_KEY]
+        assert engine._tree_memo is not old_graph.substrate_cache[_TREE_MEMO_KEY]
+
+    def test_rebind_reprices_without_stale_memo_hits(self):
+        """The ISSUE-6 cache-safety satellite: a substrate mutation must
+        never serve shortest-path trees cached for the old substrate.  The
+        rebind re-price runs against the new graph's (empty) memo, so it
+        records misses and zero new warm-start hits."""
+        instance, duals, engine = self._setup()
+        engine.commit(engine.select())
+        hits_before = engine.stats.warm_start_hits
+        misses_before = engine.stats.memo_misses
+        new_graph = instance.graph.with_capacities(instance.graph.capacities * 3.0)
+        engine.rebind_substrate(new_graph, duals.with_capacities(new_graph.capacities))
+        assert engine.stats.warm_start_hits == hits_before
+        assert engine.stats.memo_misses > misses_before
+
+    def test_rebind_matches_fresh_engine_on_the_mutated_substrate(self):
+        """After a capacity mutation, the rebound engine's selection
+        sequence must equal that of an engine built from scratch on the
+        mutated substrate with the same live pool and dual state."""
+        instance, duals, engine = self._setup(seed=37)
+        for _ in range(3):
+            engine.commit(engine.select())
+        new_graph = instance.graph.with_capacities(
+            instance.graph.capacities * 0.75, disabled_edges=[0]
+        )
+        new_duals = duals.with_capacities(new_graph.capacities)
+        engine.rebind_substrate(new_graph, new_duals)
+
+        live = [i for i in range(engine.num_requests) if engine.is_live(i)]
+        fresh = PathPricingEngine(
+            new_graph,
+            [instance.requests[i] for i in live],
+            new_duals.copy(),
+            tie_tolerance=1e-15, index_tie_break=True, remove_selected=True,
+        )
+        while True:
+            a = engine.select()
+            b = fresh.select()
+            if a is None or b is None:
+                assert a is None and b is None
+                break
+            assert instance.requests[a.index] == instance.requests[live[b.index]]
+            assert a.score == b.score
+            assert a.vertices == b.vertices and a.edge_ids == b.edge_ids
+            engine.commit(a)
+            fresh.commit(b)
+
+    def test_rebind_drops_unroutable_live_requests(self):
+        from repro.flows import Request, UFPInstance
+        from repro.graphs import CapacitatedGraph
+
+        graph = CapacitatedGraph(3, [(0, 1, 8.0), (1, 2, 8.0)], directed=True)
+        duals = DualWeights(graph.capacities, 0.5)
+        engine = PathPricingEngine(
+            graph, [Request(0, 2, 1.0, 2.0)], duals,
+            tie_tolerance=1e-15, index_tie_break=True, remove_selected=True,
+        )
+        assert engine.is_live(0)
+        cut = graph.with_capacities(graph.capacities, disabled_edges=[1])
+        engine.rebind_substrate(cut, duals.with_capacities(cut.capacities))
+        assert not engine.is_live(0)
+        assert engine.select() is None
+
+    def test_rebind_rejects_different_edge_space(self):
+        instance, duals, engine = self._setup()
+        other = random_digraph(instance.graph.num_vertices + 1, 0.3, 4.0, seed=1)
+        with pytest.raises(ValueError, match="same vertex and edge-id space"):
+            engine.rebind_substrate(other, duals)

@@ -163,3 +163,70 @@ def test_property_construction_invariants(n, edges, directed):
         assert int(graph.adjacency_edge_ids.max()) < graph.num_edges
     total_out_degree = sum(graph.out_degree(v) for v in range(n))
     assert total_out_degree == expected_arcs
+
+
+class TestDisabledEdges:
+    """Substrate faults: disabled edges keep their id and capacity but
+    contribute no arcs to the routing adjacency (see repro.faults)."""
+
+    def _triangle(self, directed=True, disabled=()):
+        return CapacitatedGraph(
+            3,
+            [(0, 1, 2.0), (1, 2, 3.0), (0, 2, 5.0)],
+            directed=directed,
+            disabled_edges=disabled,
+        )
+
+    def test_disabled_edges_property(self):
+        graph = self._triangle(disabled=[1])
+        assert graph.disabled_edges == frozenset({1})
+        assert self._triangle().disabled_edges == frozenset()
+
+    def test_disabled_edge_keeps_id_and_capacity(self):
+        graph = self._triangle(disabled=[1])
+        assert graph.num_edges == 3
+        assert graph.edge_endpoints(1) == (1, 2)
+        assert graph.edge_capacity(1) == 3.0
+        np.testing.assert_allclose(graph.capacities, [2.0, 3.0, 5.0])
+
+    def test_disabled_edge_drops_arcs_directed(self):
+        graph = self._triangle(disabled=[0])
+        heads, edge_ids = graph.out_arcs(0)
+        assert [int(h) for h in heads] == [2]
+        assert [int(e) for e in edge_ids] == [2]
+        assert graph.out_degree(0) == 1
+
+    def test_disabled_edge_drops_both_arcs_undirected(self):
+        graph = self._triangle(directed=False, disabled=[1])
+        assert 2 not in [int(h) for h in graph.out_arcs(1)[0]]
+        assert 1 not in [int(h) for h in graph.out_arcs(2)[0]]
+
+    def test_with_disabled_edges_replaces_the_set(self):
+        graph = self._triangle(disabled=[0])
+        cut_more = graph.with_disabled_edges([0, 2])
+        assert cut_more.disabled_edges == frozenset({0, 2})
+        healed = cut_more.with_disabled_edges(())
+        assert healed.disabled_edges == frozenset()
+        assert healed == self._triangle()
+
+    def test_with_capacities_inherits_or_replaces_disabled(self):
+        graph = self._triangle(disabled=[1])
+        resized = graph.with_capacities([2.0, 3.0, 9.0])
+        assert resized.disabled_edges == frozenset({1})
+        replaced = graph.with_capacities([2.0, 3.0, 9.0], disabled_edges=[2])
+        assert replaced.disabled_edges == frozenset({2})
+
+    def test_out_of_range_disabled_id_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="out of range"):
+            self._triangle(disabled=[3])
+        with pytest.raises(InvalidInstanceError, match="out of range"):
+            self._triangle(disabled=[-1])
+
+    def test_equality_includes_disabled_set(self):
+        assert self._triangle(disabled=[1]) != self._triangle()
+        assert self._triangle(disabled=[1]) == self._triangle(disabled=[1])
+
+    def test_disabled_edges_excluded_from_bellman_ford_arcs(self):
+        graph = self._triangle(disabled=[1])
+        arcs = graph.bellman_ford_arcs()
+        assert all(eid != 1 for _, _, eid in arcs)

@@ -192,3 +192,32 @@ def test_property_round_trip_preserves_algorithm_output(seed):
     again = bounded_ufp(rebuilt, 0.5)
     assert again.value == pytest.approx(original.value)
     assert again.selected_indices() == original.selected_indices()
+
+
+class TestDisabledEdgesRoundTrip:
+    def test_instance_round_trip_preserves_disabled_edges(self):
+        instance = random_instance(
+            num_vertices=6, edge_probability=0.5, capacity=4.0,
+            num_requests=5, seed=2,
+        )
+        from repro.flows import UFPInstance
+
+        cut = UFPInstance(
+            instance.graph.with_disabled_edges([0, 2]),
+            instance.requests,
+            name=instance.name,
+            metadata=instance.metadata,
+        )
+        clone = io.ufp_instance_from_dict(io.ufp_instance_to_dict(cut))
+        assert clone.graph.disabled_edges == frozenset({0, 2})
+        assert clone.graph == cut.graph
+
+    def test_fault_free_payload_has_no_disabled_key(self):
+        instance = random_instance(
+            num_vertices=5, edge_probability=0.5, capacity=4.0,
+            num_requests=4, seed=3,
+        )
+        payload = io.ufp_instance_to_dict(instance)
+        assert "disabled_edges" not in json.dumps(payload)
+        clone = io.ufp_instance_from_dict(payload)
+        assert clone.graph.disabled_edges == frozenset()

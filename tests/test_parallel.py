@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import os
+import signal
 from functools import partial
 
 import numpy as np
@@ -233,3 +234,78 @@ class TestExperimentJobsDeterminism:
         assert _canonical_rows(serial) == _canonical_rows(fanned)
         assert serial.claims == fanned.claims
         assert serial.all_claims_hold
+
+
+def _boom(x):
+    if x % 3 == 1:
+        raise ValueError(f"boom at {x}")
+    return x * x
+
+
+def _kill_self(x):
+    # Dies only inside a pmap worker process — at jobs=1 the "crash" task
+    # degenerates to an ordinary exception, which is the documented serial
+    # analogue of a worker death.
+    if x == 2:
+        if parallel.in_worker():
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise RuntimeError("would have crashed the worker")
+    return x * x
+
+
+class TestCaptureMode:
+    def test_on_error_validated(self):
+        with pytest.raises(ValueError, match="on_error"):
+            parallel.pmap(_square, [1], on_error="ignore")
+
+    def test_raise_mode_propagates_first_failure(self):
+        with pytest.raises(ValueError, match="boom at 1"):
+            parallel.pmap(_boom, range(6), jobs=1)
+
+    def test_capture_wraps_failures_in_task_order(self):
+        results = parallel.pmap(_boom, range(7), jobs=1, on_error="capture")
+        for x, result in zip(range(7), results):
+            if x % 3 == 1:
+                assert isinstance(result, parallel.WorkerError)
+                assert result.error_type == "ValueError"
+                assert f"boom at {x}" in str(result)
+            else:
+                assert result == x * x
+
+    def test_capture_serial_matches_parallel(self):
+        serial = parallel.pmap(_boom, range(11), jobs=1, on_error="capture")
+        pooled = parallel.pmap(_boom, range(11), jobs=3, on_error="capture")
+        assert [
+            (type(r).__name__, getattr(r, "error_type", None), str(r))
+            for r in serial
+        ] == [
+            (type(r).__name__, getattr(r, "error_type", None), str(r))
+            for r in pooled
+        ]
+
+    def test_worker_error_pickles_with_error_type(self):
+        import pickle
+
+        err = parallel.WorkerError("msg", error_type="KeyError")
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, parallel.WorkerError)
+        assert clone.error_type == "KeyError"
+        assert str(clone) == "msg"
+
+    def test_worker_crash_is_captured_and_neighbors_survive(self):
+        # Task 2 SIGKILLs its worker.  Capture mode must report exactly that
+        # task as a WorkerCrash and still return every other task's result
+        # (via the isolated per-task retry of the poisoned chunks).
+        results = parallel.pmap(
+            _kill_self, range(6), jobs=2, chunk_size=1, on_error="capture"
+        )
+        assert isinstance(results[2], parallel.WorkerError)
+        assert results[2].error_type == "WorkerCrash"
+        for x in (0, 1, 3, 4, 5):
+            assert results[x] == x * x
+
+    def test_worker_crash_raise_mode_breaks_pool(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        with pytest.raises(BrokenProcessPool):
+            parallel.pmap(_kill_self, range(6), jobs=2, chunk_size=1)

@@ -397,3 +397,274 @@ class TestCLI:
         assert scenarios_main(["run", str(spec_path), "--json", "--seed", "7"]) == 0
         b = json.loads(capsys.readouterr().out)["records"]["g/r/off"]
         assert a != b
+
+
+# ---------------------------------------------------------------------- #
+# Store torn-append repair (ISSUE-6 satellite)
+# ---------------------------------------------------------------------- #
+class TestTornAppendRepair:
+    def test_append_onto_torn_tail_repairs_first(self, tmp_path):
+        """A kill mid-write leaves an unterminated line; the next append
+        must truncate it instead of merging the new record into the
+        fragment (which would silently lose a committed cell)."""
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_suite())
+        store.append("k1", "h1", {"v": 1})
+        with store.results_path.open("a") as handle:
+            handle.write('{"key": "torn", "cell": "hx", "record"')
+        with store.manifest_path.open("a") as handle:
+            handle.write('{"key": "torn"')
+        store.append("k3", "h3", {"v": 3})
+        assert set(store.records()) == {"k1", "k3"}
+        assert store.completed() == {"k1": "h1", "k3": "h3"}
+        # Every surviving line is complete, parseable JSON.
+        for path in (store.results_path, store.manifest_path):
+            text = path.read_text()
+            assert text.endswith("\n")
+            for line in text.strip().splitlines():
+                json.loads(line)
+
+    def test_repair_is_noop_on_clean_and_missing_files(self, tmp_path):
+        from repro.scenarios.store import _repair_trailing
+
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_suite())
+        store.append("k", "h", {"v": 1})
+        before = store.results_path.read_text()
+        assert _repair_trailing(store.results_path) is False
+        assert store.results_path.read_text() == before
+        assert _repair_trailing(tmp_path / "missing.jsonl") is False
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert _repair_trailing(empty) is False
+
+    def test_repair_of_fragment_only_file(self, tmp_path):
+        from repro.scenarios.store import _repair_trailing
+
+        path = tmp_path / "frag.jsonl"
+        path.write_text('{"key": "torn"')  # no complete line at all
+        assert _repair_trailing(path) is True
+        assert path.read_text() == ""
+
+    def test_torn_tail_then_append_preserves_store_hash(self, tmp_path):
+        """Resume over a repaired store must hash identically to an
+        uninterrupted run — the torn cell is just recomputed."""
+        suite = _tiny_suite()
+        clean = ResultStore(tmp_path / "clean")
+        scenarios.run_campaign(suite, store=clean)
+        reference = clean.content_hash()
+
+        torn = ResultStore(tmp_path / "torn")
+        scenarios.run_campaign(suite, store=torn)
+        # Tear off the (only) manifest line mid-write.
+        text = torn.manifest_path.read_text().strip()
+        torn.manifest_path.write_text(text[: len(text) // 2])
+        resumed = scenarios.run_campaign(suite, store=torn)
+        assert resumed.computed == ["g/r/off"]
+        assert torn.content_hash() == reference
+
+
+# ---------------------------------------------------------------------- #
+# Crash-tolerant campaign runner (ISSUE-6 tentpole)
+# ---------------------------------------------------------------------- #
+def _chaos_tiny_suite(inject="exception", **mode_extra):
+    bad = {
+        "name": "bad",
+        "kind": "offline",
+        "bound": "none",
+        "inject_failure": inject,
+        **mode_extra,
+    }
+    good = {"name": "off", "kind": "offline", "bound": "none"}
+    return _tiny_suite(modes=[good, bad])
+
+
+class TestQuarantine:
+    def test_failing_cell_is_quarantined_and_campaign_completes(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        result = scenarios.run_campaign(
+            _chaos_tiny_suite(), store=store, retries=1
+        )
+        assert result.failed == ["g/r/bad"]
+        assert not result.all_cells_ok
+        assert "1 FAILED (quarantined)" in result.summary_line()
+        record = result.records["g/r/bad"]
+        assert record["failed"] is True
+        assert record["claims_ok"] is False
+        assert record["error_type"] == "RuntimeError"
+        assert record["attempts"] == 2  # initial try + one retry
+        assert "injected failure" in record["error"]
+        # The healthy cell is unaffected.
+        assert result.records["g/r/off"]["claims_ok"] is True
+        # The quarantine record is durably committed.
+        assert store.records()["g/r/bad"]["failed"] is True
+
+    def test_quarantined_cell_is_retried_on_resume(self, tmp_path):
+        suite = _chaos_tiny_suite()
+        store = ResultStore(tmp_path / "s")
+        scenarios.run_campaign(suite, store=store)
+        resumed = scenarios.run_campaign(suite, store=store)
+        # The healthy cell is skipped; the quarantined one is never
+        # skipped — resume retries it instead of trusting the failure.
+        assert resumed.skipped == ["g/r/off"]
+        assert resumed.computed == ["g/r/bad"]
+        assert resumed.failed == ["g/r/bad"]
+
+    def test_quarantine_records_hash_deterministically(self, tmp_path):
+        suite = _chaos_tiny_suite()
+        a = ResultStore(tmp_path / "a")
+        b = ResultStore(tmp_path / "b")
+        scenarios.run_campaign(suite, store=a, retries=1)
+        scenarios.run_campaign(suite, store=b, retries=1)
+        assert a.content_hash() == b.content_hash()
+
+    def test_worker_crash_quarantined_under_jobs(self, tmp_path):
+        """A cell that SIGKILLs its worker process is captured as a
+        WorkerCrash; the other cells' results survive the poisoned pool."""
+        store = ResultStore(tmp_path / "s")
+        result = scenarios.run_campaign(
+            _chaos_tiny_suite(inject="sigkill"), store=store, jobs=2
+        )
+        assert result.failed == ["g/r/bad"]
+        assert result.records["g/r/bad"]["error_type"] == "WorkerCrash"
+        assert result.records["g/r/off"]["claims_ok"] is True
+
+    def test_cell_timeout_quarantines_hung_cell(self):
+        result = scenarios.run_campaign(
+            _chaos_tiny_suite(inject="timeout"), cell_timeout=0.2
+        )
+        assert result.failed == ["g/r/bad"]
+        assert result.records["g/r/bad"]["error_type"] == "CellTimeoutError"
+        assert result.records["g/r/off"]["claims_ok"] is True
+
+
+# ---------------------------------------------------------------------- #
+# Fault regimes in suites (ISSUE-6 tentpole)
+# ---------------------------------------------------------------------- #
+def _online_mode(**extra):
+    return {
+        "name": "stream",
+        "kind": "online",
+        "epsilon": "auto",
+        "arrivals": "bursty",
+        "burst_size": 4,
+        **extra,
+    }
+
+
+class TestFaultModes:
+    def test_chaos_suite_is_builtin(self):
+        assert "chaos" in scenarios.available_suites()
+        suite = scenarios.get_suite("chaos")
+        mode_names = {mode["name"] for mode in suite["modes"]}
+        assert {"stream", "failures", "churn", "jam", "everything"} <= mode_names
+
+    def test_zero_intensity_faults_record_identical_to_fault_free(self):
+        """A mode carrying ``faults: {}`` must produce a record dict-equal
+        to the fault-free mode (different cell hash, same physics) — the
+        differential guarantee the whole fault layer is built on."""
+        plain = scenarios.run_campaign(_tiny_suite(modes=[_online_mode()]))
+        faulted = scenarios.run_campaign(
+            _tiny_suite(modes=[_online_mode(faults={})])
+        )
+        a = plain.records["g/r/stream"]
+        b = faulted.records["g/r/stream"]
+        assert a == b
+        assert "fault_events" not in b
+
+    def test_fault_mode_emits_degradation_columns(self):
+        result = scenarios.run_campaign(
+            _tiny_suite(
+                modes=[
+                    _online_mode(
+                        faults={"edge_failure_rate": 1.5, "failure_duration": 2}
+                    )
+                ]
+            )
+        )
+        record = result.records["g/r/stream"]
+        assert record["claims_ok"] is True
+        assert record["fault_events"] > 0
+
+    def test_chaos_suite_store_hash_jobs_invariant(self, tmp_path):
+        suite = scenarios.get_suite("chaos")
+        s1 = ResultStore(tmp_path / "j1")
+        s4 = ResultStore(tmp_path / "j4")
+        r1 = scenarios.run_campaign(suite, store=s1, jobs=1)
+        r4 = scenarios.run_campaign(suite, store=s4, jobs=4)
+        assert r1.all_cells_ok and not r1.failed
+        assert r1.records == r4.records
+        assert s1.content_hash() == s4.content_hash()
+        # The violent modes actually exercise the degradation paths.
+        revocations = sum(
+            record.get("fault_revocations", 0) for record in r1.records.values()
+        )
+        jammed = sum(
+            record.get("fault_jam_arrived", 0) for record in r1.records.values()
+        )
+        assert revocations > 0 and jammed > 0
+
+
+# ---------------------------------------------------------------------- #
+# CLI robustness flags + failure-aware exit codes (ISSUE-6 satellite)
+# ---------------------------------------------------------------------- #
+class TestCLIRobustness:
+    def test_failed_cells_make_run_and_resume_exit_nonzero(
+        self, tmp_path, capsys
+    ):
+        spec_path = tmp_path / "suite.json"
+        spec_path.write_text(json.dumps(_chaos_tiny_suite()))
+        store_dir = str(tmp_path / "store")
+        assert (
+            scenarios_main(
+                ["run", str(spec_path), "--store", store_dir, "--retries", "1"]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "1 FAILED (quarantined)" in out
+        assert scenarios_main(["resume", "--store", store_dir]) == 1
+        out = capsys.readouterr().out
+        assert "1 FAILED (quarantined)" in out
+
+    def test_failed_cells_surface_in_json_payload(self, tmp_path, capsys):
+        spec_path = tmp_path / "suite.json"
+        spec_path.write_text(json.dumps(_chaos_tiny_suite()))
+        assert scenarios_main(["run", str(spec_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == ["g/r/bad"]
+        assert payload["records"]["g/r/bad"]["failed"] is True
+
+    def test_clean_run_with_robustness_flags_exits_zero(self, tmp_path, capsys):
+        spec_path = tmp_path / "suite.json"
+        spec_path.write_text(json.dumps(_tiny_suite()))
+        assert (
+            scenarios_main(
+                [
+                    "run",
+                    str(spec_path),
+                    "--json",
+                    "--retries",
+                    "2",
+                    "--retry-backoff",
+                    "0.01",
+                    "--cell-timeout",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == []
+
+    def test_cell_timeout_flag_quarantines(self, tmp_path, capsys):
+        spec_path = tmp_path / "suite.json"
+        spec_path.write_text(json.dumps(_chaos_tiny_suite(inject="timeout")))
+        assert (
+            scenarios_main(
+                ["run", str(spec_path), "--json", "--cell-timeout", "0.2"]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"]["g/r/bad"]["error_type"] == "CellTimeoutError"
