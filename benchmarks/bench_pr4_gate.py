@@ -11,6 +11,12 @@ stream) plus the two trace-replay rows this PR commits to:
 * ``e4_audit_cell`` — the E4 truthfulness audit cell through the traced
   audit path.
 
+The partitioned-solver PR adds a row pair on one medium multi-region
+instance — ``partition_region_medium`` (per-shard fast path) vs
+``ufp_region_medium_global`` (the global solver) — so the committed
+baseline both gates the partitioned layer's performance and documents its
+speedup over the global solve.
+
 Recorded to ``BENCH_PR4.json`` in CI and compared against the committed
 baseline ``benchmarks/BENCH_PR4.json`` by ``benchmarks/compare_bench.py``,
 which fails the build on a >20% normalized mean-time regression.
@@ -133,6 +139,70 @@ def test_gate_campaign_cell_small(benchmark):
     outcome = benchmark.pedantic(lambda: run_cell(cell), rounds=3, iterations=1)
     record = outcome.rows[0]
     assert record["claims_ok"] and record["admitted"] > 0
+
+
+@pytest.fixture(scope="module")
+def region_medium():
+    # A medium multi-region composite with an intra-region-only workload:
+    # the partitioned fast path's home turf.  10 regions x (6 cores, 5
+    # leaves/core) = 360 vertices / 495 edges, 900 leaf-to-leaf requests —
+    # big enough that per-shard pricing wins clearly (~6x serial).
+    from repro.flows import Request, UFPInstance
+    from repro.graphs.generators import multi_region_topology
+    from repro.graphs.partition import multi_region_partition
+    from repro.utils.prng import ensure_rng
+
+    regions, cores, leaves = 10, 6, 5
+    rng = ensure_rng(41)
+    graph = multi_region_topology(
+        regions, cores, leaves, 60.0, 30.0, 15.0, seed=int(rng.integers(2**31))
+    )
+    block = cores * (1 + leaves)
+    requests = []
+    for _ in range(900):
+        region = int(rng.integers(regions))
+        pool = np.arange(region * block + cores, (region + 1) * block)
+        u, v = rng.choice(pool, size=2, replace=False)
+        requests.append(
+            Request(
+                int(u), int(v),
+                demand=float(rng.uniform(0.2, 1.0)),
+                value=float(rng.uniform(0.5, 2.0)),
+            )
+        )
+    instance = UFPInstance(graph, requests)
+    return instance, multi_region_partition(graph, regions, cores, leaves)
+
+
+def test_gate_partition_region_medium(benchmark, region_medium):
+    """Partitioned Bounded-UFP over the natural region cut (this PR).
+
+    Read next to ``test_gate_ufp_region_medium_global`` — same instance
+    through the global solver — the pair documents the per-shard speedup
+    the partitioned layer exists for (~6x serial on this shape).
+    """
+    from repro.partition import partitioned_bounded_ufp
+
+    instance, partition = region_medium
+    allocation = benchmark.pedantic(
+        lambda: partitioned_bounded_ufp(
+            instance, 0.5, partition=partition, jobs=1
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert allocation.is_feasible() and allocation.num_selected > 0
+    assert allocation.stats.extra["partition_cross_requests"] == 0.0
+
+
+def test_gate_ufp_region_medium_global(benchmark, region_medium):
+    """The global solver on the region-medium instance (the partitioned
+    row's comparison point)."""
+    instance, _partition = region_medium
+    allocation = benchmark.pedantic(
+        lambda: bounded_ufp(instance, 0.5), rounds=3, iterations=1
+    )
+    assert allocation.is_feasible() and allocation.num_selected > 0
 
 
 def test_gate_e10_online_batch(benchmark):

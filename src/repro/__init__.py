@@ -36,6 +36,7 @@ from repro import (
     lp,
     mechanism,
     online,
+    partition,
     scenarios,
 )
 from repro.auctions import Bid, MUCAAllocation, MUCAInstance
@@ -62,6 +63,7 @@ __all__ = [
     "baselines",
     "fractional",
     "online",
+    "partition",
     "scenarios",
     # Most-used types and entry points
     "CapacitatedGraph",

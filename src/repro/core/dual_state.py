@@ -43,7 +43,15 @@ class DualWeights:
     the property tests to guard against drift.
     """
 
-    __slots__ = ("_capacities", "_epsilon", "_B", "_y", "_budget", "_updates")
+    __slots__ = (
+        "_capacities",
+        "_epsilon",
+        "_B",
+        "_y",
+        "_budget",
+        "_updates",
+        "_last_delta",
+    )
 
     def __init__(
         self,
@@ -68,6 +76,7 @@ class DualWeights:
         self._y = 1.0 / capacities
         self._budget = float(self._capacities @ self._y)  # equals m initially
         self._updates = 0
+        self._last_delta = 0.0
 
     # ------------------------------------------------------------------ #
     # Read access
@@ -107,6 +116,19 @@ class DualWeights:
     def num_updates(self) -> int:
         """Number of weight-update operations applied so far."""
         return self._updates
+
+    @property
+    def last_budget_increment(self) -> float:
+        """The exact float added to the budget by the most recent
+        :meth:`apply_selection` (``0.0`` before any update).
+
+        The partitioned solver's coordinator reconstructs the *global*
+        incremental budget by summing shard increments in global commit
+        order; exposing the increment itself (rather than differencing
+        ``budget`` snapshots, which re-rounds) keeps that reconstruction
+        bit-identical to the global solver's arithmetic.
+        """
+        return self._last_delta
 
     def weight_of(self, index: int) -> float:
         return float(self._y[index])
@@ -162,8 +184,10 @@ class DualWeights:
         old = self._y[ids]
         new = old * np.exp(self._epsilon * self._B * float(demand) / caps)
         self._y[ids] = new
-        self._budget += float(caps @ (new - old))
+        delta = float(caps @ (new - old))
+        self._budget += delta
         self._updates += 1
+        self._last_delta = delta
 
     def recompute_budget(self) -> float:
         """Recompute ``sum_e c_e y_e`` from scratch (used to verify the
@@ -200,6 +224,7 @@ class DualWeights:
         clone._y = self._y * (self._capacities / new_caps)
         clone._budget = float(new_caps @ clone._y)
         clone._updates = self._updates
+        clone._last_delta = self._last_delta
         return clone
 
     def copy(self) -> "DualWeights":
@@ -211,6 +236,7 @@ class DualWeights:
         clone._y = self._y.copy()
         clone._budget = self._budget
         clone._updates = self._updates
+        clone._last_delta = self._last_delta
         return clone
 
     def restore_from(self, snapshot: "DualWeights") -> None:
@@ -238,6 +264,7 @@ class DualWeights:
         self._B = snapshot._B
         self._budget = snapshot._budget
         self._updates = snapshot._updates
+        self._last_delta = snapshot._last_delta
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

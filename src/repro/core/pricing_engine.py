@@ -823,6 +823,23 @@ class PathPricingEngine:
             # score remains a valid lower bound (weights only grew).
             heapq.heappush(self._heap, (selection.score, idx, -1))
 
+    def apply_external_update(self, edge_ids: Sequence[int]) -> None:
+        """Account for a weight update the engine did not make itself.
+
+        The partitioned solver routes cross-region requests through several
+        shards at once: each affected shard's :class:`DualWeights` is grown
+        directly (the winning request lives in the coordinator, not in this
+        engine's pool), after which every cached tree using an updated edge
+        is stale.  Call this with the updated edge ids *after* the dual
+        update: affected trees are evicted (bumping their source epochs, so
+        lingering heap entries re-price on their next pop) and the memoized
+        weight-vector forms are dropped.  Scores already in the heap remain
+        valid lower bounds because weights only ever grow.
+        """
+        self._w_list = None
+        self._w_bytes = None
+        self._invalidate_edges(edge_ids)
+
     # ------------------------------------------------------------------ #
     # Substrate mutation (fault injection)
     # ------------------------------------------------------------------ #

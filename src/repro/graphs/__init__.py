@@ -51,6 +51,16 @@ from repro.graphs.generators import (
     from_networkx,
     to_networkx,
 )
+from repro.graphs.partition import (
+    GraphPartition,
+    BorderQuotient,
+    QuotientArc,
+    single_region_partition,
+    block_partition,
+    multi_region_partition,
+    bfs_partition,
+    build_border_quotient,
+)
 from repro.graphs.lower_bounds import (
     directed_staircase,
     undirected_ring7,
@@ -88,6 +98,14 @@ __all__ = [
     "multi_region_leaves",
     "from_networkx",
     "to_networkx",
+    "GraphPartition",
+    "BorderQuotient",
+    "QuotientArc",
+    "single_region_partition",
+    "block_partition",
+    "multi_region_partition",
+    "bfs_partition",
+    "build_border_quotient",
     "directed_staircase",
     "undirected_ring7",
     "staircase_optimal_value",

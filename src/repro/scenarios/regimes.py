@@ -42,7 +42,14 @@ from repro.flows.instance import UFPInstance
 from repro.scenarios.specs import CellSpec
 from repro.scenarios.topologies import Topology, build_topology
 
-__all__ = ["resolve_base_capacity", "build_cell_instance", "cell_rng", "ARRIVAL_STREAM", "FAULT_STREAM"]
+__all__ = [
+    "resolve_base_capacity",
+    "build_cell_instance",
+    "cell_rng",
+    "ARRIVAL_STREAM",
+    "FAULT_STREAM",
+    "PARTITION_STREAM",
+]
 
 # Sub-stream labels: each concern draws from default_rng([seed, label]) so
 # streams never interfere regardless of how much each consumes.  Topology
@@ -57,6 +64,11 @@ ARRIVAL_STREAM = 3
 # adding faults to a mode never perturbs the topology/request/arrival draws
 # of fault-free cells sharing the same seeds.
 FAULT_STREAM = 4
+# Seed draws of the generic BFS region partitioner (partitioned-solver
+# modes); keyed to the topology_seed — partitions are a property of the
+# structure, not the workload — and separate from the topology stream so a
+# partitioned mode never perturbs the substrate of its unpartitioned twin.
+PARTITION_STREAM = 5
 
 
 def cell_rng(seed: int, stream: int) -> np.random.Generator:

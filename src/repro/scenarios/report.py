@@ -35,6 +35,14 @@ DEFAULT_COLUMNS = (
     "ratio",
     "value_ratio",
     "revenue",
+    # Partitioned-solving columns (present only on offline cells whose mode
+    # set a "partition" entry; see repro.partition).
+    "partition_regions",
+    "partition_cut_edges",
+    "partition_cross",
+    "partition_value",
+    "partition_gap",
+    "partition_exact",
     # Fault-injection columns (present only on cells that ran with a
     # non-zero-intensity fault schedule; see repro.faults).
     "fault_events",

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time as _time
 from dataclasses import dataclass, field
 from functools import partial
@@ -58,6 +59,7 @@ from repro.parallel import WorkerError
 from repro.scenarios.regimes import (
     ARRIVAL_STREAM,
     FAULT_STREAM,
+    PARTITION_STREAM,
     build_cell_instance,
     cell_rng,
 )
@@ -151,6 +153,119 @@ def _base_record(cell: CellSpec, instance: UFPInstance, base_capacity: float) ->
     }
 
 
+def _resolve_cell_partition(cell: CellSpec, instance: UFPInstance):
+    """Resolve a mode's ``partition`` entry into a partition + exactness flag.
+
+    ``partition`` accepts ``"auto"``/``true`` (the natural clusters of a
+    ``multi_region`` topology), an integer region count or a dict with a
+    ``regions`` key.  Returns ``(GraphPartition, exact_contract)`` where
+    ``exact_contract`` marks partitions eligible for the bit-identity
+    claim (the trivial partition and ``multi_region``'s natural clusters):
+    on an intra-only cell they must reproduce the global solver exactly
+    *provided* the global clearing never routed across the cut — a premise
+    ``_partition_metrics`` verifies per cell rather than assumes.
+    """
+    from repro.graphs.partition import (
+        bfs_partition,
+        multi_region_partition,
+        single_region_partition,
+    )
+
+    spec = cell.mode["partition"]
+    regions = spec.get("regions", "auto") if isinstance(spec, Mapping) else spec
+    topology = cell.topology
+    natural = topology.get("family") == "multi_region"
+    # NB: `regions is True` (not `in (...)`) — `1 == True` would otherwise
+    # swallow the explicit 1-region spec.
+    if regions == "auto" or regions is True:
+        if not natural:
+            raise InvalidInstanceError(
+                "partition 'auto' needs a multi_region topology; give an "
+                "explicit region count for other families"
+            )
+        regions = int(topology.get("regions", 3))
+    regions = int(regions)
+    if regions == 1:
+        return single_region_partition(instance.graph), True
+    if natural and regions == int(topology.get("regions", 3)):
+        return (
+            multi_region_partition(
+                instance.graph,
+                regions,
+                int(topology.get("cores_per_region", 3)),
+                int(topology.get("leaves_per_core", 2)),
+            ),
+            True,
+        )
+    return (
+        bfs_partition(
+            instance.graph,
+            regions,
+            seed=cell_rng(cell.topology_seed, PARTITION_STREAM),
+        ),
+        False,
+    )
+
+
+def _partition_metrics(
+    cell: CellSpec,
+    instance: UFPInstance,
+    outcome: CellOutcome,
+    epsilon: float,
+    allocation,
+) -> dict:
+    """Partitioned-solver columns of one offline cell.
+
+    Runs the partitioned solver next to the global ``allocation`` the cell
+    already produced: always reports the region/cut/cross shape and the
+    approximation gap vs. the global value, and claims bit-identity on
+    intra-only cells whose partition carries the exactness contract *and*
+    whose global clearing never routed across the cut (region-internal
+    shortest paths can leave their region once internal congestion makes a
+    backbone detour cheaper, so the premise is checked, not assumed).
+    """
+    spec = cell.mode["partition"]
+    spec = spec if isinstance(spec, Mapping) else {}
+    partition, exact_contract = _resolve_cell_partition(cell, instance)
+    partitioned = bounded_ufp(instance, epsilon, partition=partition)
+    outcome.claim(
+        "partitioned allocation is feasible", partitioned.is_feasible()
+    )
+    extra = partitioned.stats.extra
+    cross = int(extra.get("partition_cross_requests", 0.0))
+    record: dict[str, Any] = {
+        "partition_regions": partition.num_regions,
+        "partition_cut_edges": partition.num_cut_edges,
+        "partition_cross": cross,
+        "partition_value": float(partitioned.value),
+        "partition_admitted": partitioned.num_selected,
+    }
+    if spec.get("compare_global", True):
+        cut = set(partition.cut_edge_ids.tolist())
+        stays_internal = not any(
+            eid in cut for routed in allocation.routed for eid in routed.edge_ids
+        )
+        exact = exact_contract and cross == 0 and stays_internal
+        matches = (
+            [r.request_index for r in partitioned.routed]
+            == [r.request_index for r in allocation.routed]
+            and [r.edge_ids for r in partitioned.routed]
+            == [r.edge_ids for r in allocation.routed]
+            and float(partitioned.value) == float(allocation.value)
+        )
+        if exact:
+            outcome.claim(
+                "partitioned solver is bit-identical to the global solver "
+                "on an intra-region-only cell",
+                matches,
+            )
+        record["partition_gap"] = ratio(
+            float(allocation.value), float(partitioned.value)
+        )
+        record["partition_exact"] = bool(exact and matches)
+    return record
+
+
 def _offline_metrics(
     cell: CellSpec, instance: UFPInstance, outcome: CellOutcome
 ) -> dict:
@@ -195,6 +310,15 @@ def _offline_metrics(
         )
         record["revenue"] = float(payments.sum())
         record.update({k: float(v) for k, v in replay_stats.items()})
+    if mode.get("partition"):
+        if mode["kind"] != "offline":
+            raise InvalidInstanceError(
+                "partitioned solving is an offline-mode option; "
+                f"got kind {mode['kind']!r}"
+            )
+        record.update(
+            _partition_metrics(cell, instance, outcome, epsilon, allocation)
+        )
     return record
 
 
@@ -205,6 +329,11 @@ def _online_metrics(
     cell: CellSpec, instance: UFPInstance, outcome: CellOutcome
 ) -> dict:
     mode = cell.mode
+    if mode.get("partition"):
+        raise InvalidInstanceError(
+            "partitioned solving is an offline-mode option; "
+            f"got kind {mode['kind']!r}"
+        )
     epsilon = _resolve_epsilon(mode, instance)
     arrivals = mode.get("arrivals", "poisson")
     if arrivals not in _ARRIVALS:
@@ -355,9 +484,18 @@ def _guarded_run_cell(task: tuple[CellSpec, float | None]) -> CellOutcome:
     call (pure-Python loops included); pool workers execute tasks on their
     main thread, which is where Python delivers signals.  With no timeout
     (or on platforms without ``SIGALRM``) this is exactly :func:`run_cell`.
+
+    ``signal.signal``/``signal.setitimer`` raise ``ValueError`` when called
+    off the main thread, so a caller driving the campaign from a worker
+    thread (dashboards, test harnesses) falls back to the no-timeout path —
+    same degradation as platforms without ``SIGALRM``.
     """
     cell, timeout = task
-    if not timeout or not hasattr(signal, "SIGALRM"):
+    if (
+        not timeout
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
         return run_cell(cell)
 
     def _on_alarm(signum, frame):  # pragma: no cover - timing dependent
@@ -417,8 +555,10 @@ def run_campaign(
 
     The runner is crash-tolerant: a cell that raises, times out
     (``cell_timeout`` seconds of wall clock) or kills its worker process is
-    retried up to ``retries`` times (sleeping ``retry_backoff * 2**attempt``
-    seconds between waves), and if it still fails it is *quarantined* — a
+    retried up to ``retries`` times (sleeping
+    ``retry_backoff * 2**(attempt - 1)`` seconds before retry attempt
+    ``attempt`` — i.e. ``retry_backoff`` before the first retry, doubling
+    each further retry), and if it still fails it is *quarantined* — a
     failed record is committed to the store and reported, and the rest of
     the campaign completes.  Quarantined cells are never skipped on resume:
     a later ``resume`` retries them (deterministically — same spec, same
@@ -473,6 +613,13 @@ def run_campaign(
                 break
             if attempt and retry_backoff > 0.0:
                 _time.sleep(retry_backoff * (2.0 ** (attempt - 1)))
+            # Retry isolation: a retry re-enters run_cell with nothing but
+            # the CellSpec — build_cell_instance constructs a fresh graph
+            # (hence fresh substrate_cache/tree memos) and the solver builds
+            # its engine and dual state inside the call, so no state from a
+            # SIGALRM-interrupted attempt (half-updated duals, a poisoned
+            # pricing heap) can leak into the retry.  The regression test
+            # pins retried-after-timeout == untimed, bit for bit.
             outcomes = map_cells(
                 _guarded_run_cell,
                 [(cell, cell_timeout) for cell in remaining],

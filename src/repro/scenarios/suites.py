@@ -21,8 +21,14 @@ Four pinned campaigns ship with the library:
   with an upfront fee, and everything at once).  Exists so the degradation
   path — revocations, refunds, requeues, jam accounting — runs end to end
   on every CI pass.
+* ``partition`` — the partition-parity lane: a multi-region ISP composite
+  cleared offline with the partitioned solver next to the global one, over
+  the natural region cut, the trivial 1-region cut and a generic BFS cut.
+  Exists so the bit-identity contract of :mod:`repro.partition` (and the
+  approximation-gap column for cross-region traffic) runs end to end on
+  every CI pass.
 
-All three are plain dicts — copy one, edit it, and pass it to
+All are plain dicts — copy one, edit it, and pass it to
 ``repro.scenarios run`` as a JSON file to build your own campaign.
 """
 
@@ -245,11 +251,67 @@ def _chaos_suite() -> dict[str, Any]:
     }
 
 
+def _partition_suite() -> dict[str, Any]:
+    return {
+        "name": "partition",
+        "seed": 43,
+        "description": (
+            "partitioned-vs-global parity lane over a multi-region ISP "
+            "composite (CI partition smoke)"
+        ),
+        "topologies": [
+            {
+                "name": "regions",
+                "family": "multi_region",
+                "regions": 3,
+                "cores_per_region": 3,
+                "leaves_per_core": 2,
+            },
+        ],
+        "regimes": [
+            {
+                "name": "logm",
+                "capacity": {"scale_log_m": 2.0, "min": 2.0},
+                "num_requests": 20,
+            }
+        ],
+        "modes": [
+            # Cross-region traffic exists in this workload, so the natural
+            # cut exercises the hierarchical quotient path and reports its
+            # gap; the 1-region cut must be bit-identical to the global
+            # solver (claimed inside the cell); the generic BFS cut
+            # exercises the arbitrary-graph partitioner end to end.
+            {
+                "name": "part-auto",
+                "kind": "offline",
+                "epsilon": "auto",
+                "bound": "lp",
+                "partition": "auto",
+            },
+            {
+                "name": "part-1",
+                "kind": "offline",
+                "epsilon": "auto",
+                "bound": "none",
+                "partition": 1,
+            },
+            {
+                "name": "part-bfs2",
+                "kind": "offline",
+                "epsilon": "auto",
+                "bound": "none",
+                "partition": {"regions": 2},
+            },
+        ],
+    }
+
+
 BUILTIN_SUITES = {
     "smoke": _smoke_suite,
     "demo": _demo_suite,
     "capacity-ladder": _capacity_ladder_suite,
     "chaos": _chaos_suite,
+    "partition": _partition_suite,
 }
 
 

@@ -1,0 +1,171 @@
+"""Campaign-runner correctness fixes, pinned by regression tests.
+
+Three fixes ride with the partitioned-solver PR:
+
+* the retry backoff sleeps ``retry_backoff * 2**(attempt - 1)`` seconds
+  before retry attempt ``attempt`` (the docstring used to promise a
+  different schedule than the code ran — the recorded-sleep test pins the
+  actual schedule);
+* ``_guarded_run_cell`` must not touch ``signal.setitimer`` /
+  ``signal.signal`` off the main thread (``ValueError``); it degrades to
+  the no-timeout path instead, so dashboards and test harnesses can drive
+  campaigns from worker threads;
+* a cell retried after a mid-solve timeout rebuilds *everything* from the
+  cell spec — no dual state, engine heap or substrate cache survives the
+  interrupted attempt — so the retried record is bit-identical to a run
+  that never timed out.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import bounded_ufp as real_bounded_ufp
+from repro.scenarios import runner
+from repro.scenarios.runner import (
+    CellTimeoutError,
+    _guarded_run_cell,
+    run_campaign,
+    run_cell,
+)
+from repro.scenarios.specs import enumerate_cells, normalize_suite
+
+
+def _tiny_suite(**mode_extra):
+    return {
+        "name": "tiny",
+        "seed": 5,
+        "topologies": [{"name": "grid", "family": "grid", "rows": 3, "cols": 3}],
+        "regimes": [{"name": "r", "capacity": 6.0, "num_requests": 6}],
+        "modes": [
+            {
+                "name": "m",
+                "kind": "offline",
+                "epsilon": 0.5,
+                "bound": "none",
+                **mode_extra,
+            }
+        ],
+    }
+
+
+class TestRetryBackoff:
+    def test_backoff_doubles_from_retry_backoff(self, monkeypatch):
+        """The sleep before retry ``attempt`` is ``backoff * 2**(attempt-1)``."""
+        sleeps: list[float] = []
+        monkeypatch.setattr(runner._time, "sleep", sleeps.append)
+        suite = _tiny_suite(inject_failure="exception")
+        result = run_campaign(suite, jobs=1, retries=3, retry_backoff=0.25)
+        # Every attempt fails, so all three retries fire: 0.25, 0.5, 1.0.
+        assert sleeps == [0.25, 0.5, 1.0]
+        assert result.failed == list(result.records)
+        record = next(iter(result.records.values()))
+        assert record["failed"] is True
+        assert record["attempts"] == 4
+
+    def test_no_sleep_without_backoff(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(runner._time, "sleep", sleeps.append)
+        run_campaign(
+            _tiny_suite(inject_failure="exception"), jobs=1, retries=2
+        )
+        assert sleeps == []
+
+
+class TestGuardedRunCellOffMainThread:
+    def test_worker_thread_falls_back_to_untimed_path(self):
+        """With a timeout set, a worker thread must not die on
+        ``signal.signal``'s main-thread-only ``ValueError`` — it runs the
+        cell without a timeout and returns the identical record."""
+        cell = enumerate_cells(normalize_suite(_tiny_suite()))[0]
+        expected = run_cell(cell).rows[0]
+        box: dict[str, object] = {}
+
+        def _drive():
+            try:
+                box["outcome"] = _guarded_run_cell((cell, 30.0))
+            except BaseException as error:  # pragma: no cover - the regression
+                box["error"] = error
+
+        thread = threading.Thread(target=_drive)
+        thread.start()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert "error" not in box, f"worker thread raised {box.get('error')!r}"
+        assert box["outcome"].rows[0] == expected
+
+    def test_main_thread_still_arms_the_timer(self):
+        # The off-main-thread fallback must not have disabled the guarded
+        # path where it is legal: on the main thread the cell still runs
+        # (and the timer is disarmed afterwards).
+        cell = enumerate_cells(normalize_suite(_tiny_suite()))[0]
+        expected = run_cell(cell).rows[0]
+        assert _guarded_run_cell((cell, 30.0)).rows[0] == expected
+
+
+class TestRetryRebuildsFromSpec:
+    def test_record_after_mid_solve_timeout_is_bit_identical(self, monkeypatch):
+        """A retry after a mid-solve interrupt must equal an untimed run.
+
+        The first solver call does real work (one committed iteration —
+        duals updated, engine heap populated) and then raises the timeout,
+        exactly like ``SIGALRM`` landing mid-solve; the retry must see none
+        of that state.
+        """
+        suite = _tiny_suite()
+        clean = run_campaign(suite, jobs=1)
+
+        calls = {"count": 0}
+
+        def flaky_bounded_ufp(instance, *args, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                real_bounded_ufp(instance, *args, max_iterations=1, **kwargs)
+                raise CellTimeoutError("simulated SIGALRM mid-solve")
+            return real_bounded_ufp(instance, *args, **kwargs)
+
+        monkeypatch.setattr(runner, "bounded_ufp", flaky_bounded_ufp)
+        retried = run_campaign(suite, jobs=1, retries=1)
+
+        assert calls["count"] == 2  # one interrupted attempt + one retry
+        assert retried.failed == []
+        assert retried.records == clean.records  # bit for bit
+
+    def test_exhausted_retries_quarantine_with_timeout_type(self, monkeypatch):
+        def always_times_out(instance, *args, **kwargs):
+            raise CellTimeoutError("simulated SIGALRM mid-solve")
+
+        monkeypatch.setattr(runner, "bounded_ufp", always_times_out)
+        result = run_campaign(_tiny_suite(), jobs=1, retries=1)
+        assert result.failed == list(result.records)
+        record = next(iter(result.records.values()))
+        assert record["error_type"] == "CellTimeoutError"
+        assert record["attempts"] == 2
+
+
+class TestInjectedTimeoutEndToEnd:
+    @pytest.mark.slow
+    def test_sigalrm_interrupts_and_retry_recovers(self, monkeypatch):
+        """The real signal path: a cell that sleeps past ``cell_timeout``
+        is interrupted by ``SIGALRM``; dropping the injection for the
+        retry yields the clean record."""
+        clean = run_campaign(_tiny_suite(), jobs=1)
+
+        calls = {"count": 0}
+        original = runner.build_cell_instance
+
+        def sleepy_then_clean(cell):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                runner._time.sleep(30.0)  # SIGALRM lands here
+            return original(cell)
+
+        monkeypatch.setattr(runner, "build_cell_instance", sleepy_then_clean)
+        result = run_campaign(
+            _tiny_suite(), jobs=1, retries=1, cell_timeout=0.2
+        )
+        assert calls["count"] == 2
+        assert result.failed == []
+        assert result.records == clean.records
