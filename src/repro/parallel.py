@@ -93,27 +93,48 @@ class WorkerError(RuntimeError):
     Wraps both exceptions raised by ``fn`` (``error_type`` is the original
     exception class name, the message its ``str``) and worker-process
     deaths — a task whose worker segfaults or is SIGKILLed yields
-    ``error_type="WorkerCrash"``.  Captured failures use the same wrapper on
-    the serial and the pool paths, so ``jobs=1`` and ``jobs=N`` stay
-    result-identical under the determinism contract.
+    ``error_type="WorkerCrash"``.  ``traceback`` preserves the full
+    formatted worker-side traceback as a plain string (exception *objects*
+    lose their traceback at the pickle boundary, so it is captured at wrap
+    time); a crash that never raised has none.  Captured failures use the
+    same wrapper on the serial and the pool paths, so ``jobs=1`` and
+    ``jobs=N`` stay result-identical under the determinism contract — the
+    capture-site frame (which differs between the serial loop and the pool
+    worker) is trimmed from the traceback for exactly that reason.
     """
 
-    def __init__(self, message: str, *, error_type: str = "WorkerError") -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        error_type: str = "WorkerError",
+        traceback: str | None = None,
+    ) -> None:
         super().__init__(message)
         self.error_type = error_type
+        self.traceback = traceback
 
     def __reduce__(self):
-        return (_rebuild_worker_error, (str(self), self.error_type))
+        return (_rebuild_worker_error, (str(self), self.error_type, self.traceback))
 
 
-def _rebuild_worker_error(message: str, error_type: str) -> "WorkerError":
-    return WorkerError(message, error_type=error_type)
+def _rebuild_worker_error(
+    message: str, error_type: str, traceback: str | None = None
+) -> "WorkerError":
+    return WorkerError(message, error_type=error_type, traceback=traceback)
 
 
 def _capture(exc: BaseException) -> WorkerError:
     if isinstance(exc, WorkerError):
         return exc
-    return WorkerError(str(exc), error_type=type(exc).__name__)
+    import traceback as _traceback
+
+    # Skip the capture-site frame (the serial loop's `fn(task)` vs the pool
+    # worker's `_invoke_capture_chunk`): the preserved traceback starts at
+    # fn's own frame, identical at any jobs.
+    tb = exc.__traceback__.tb_next if exc.__traceback__ is not None else None
+    formatted = "".join(_traceback.format_exception(type(exc), exc, tb))
+    return WorkerError(str(exc), error_type=type(exc).__name__, traceback=formatted)
 
 
 #: The WorkerError produced when a worker process dies (and keeps dying on

@@ -65,6 +65,7 @@ from repro.scenarios.regimes import (
 )
 from repro.scenarios.specs import CellSpec, cell_hash, enumerate_cells, normalize_suite
 from repro.scenarios.store import ResultStore
+from repro.utils.backoff import BackoffPolicy
 
 __all__ = ["CampaignResult", "CellTimeoutError", "run_cell", "run_campaign"]
 
@@ -518,9 +519,12 @@ def _quarantine_record(
     Deliberately shaped like a normal record (same identity columns,
     ``claims_ok`` false) so reporting, store hashing and resume treat it
     uniformly; ``failed`` marks it non-skippable — a later ``resume``
-    retries the cell instead of trusting the failure forever.
+    retries the cell instead of trusting the failure forever.  The full
+    worker traceback (preserved across the pickle boundary by
+    :class:`~repro.parallel.WorkerError`) rides along so a quarantined
+    cell is debuggable from its stored record alone.
     """
-    return {
+    record = {
         "key": cell.key,
         "topology": cell.topology["name"],
         "family": cell.topology.get("family"),
@@ -533,6 +537,10 @@ def _quarantine_record(
         "attempts": attempts,
         "claims_ok": False,
     }
+    traceback = getattr(error, "traceback", None)
+    if traceback:
+        record["traceback"] = traceback
+    return record
 
 
 def run_campaign(
@@ -568,6 +576,10 @@ def run_campaign(
     cells = enumerate_cells(suite)
     hashes = {cell.key: cell_hash(cell) for cell in cells}
     retries = max(0, int(retries))
+    # One backoff policy for the whole repo (repro.utils.backoff): with no
+    # cap and no jitter this is exactly the documented doubling schedule,
+    # pinned by the recorded-sleep regression test.
+    backoff = BackoffPolicy(base=max(0.0, float(retry_backoff)))
 
     completed: dict[str, str] = {}
     stored: dict[str, dict] = {}
@@ -611,8 +623,8 @@ def run_campaign(
         for attempt in range(retries + 1):
             if not remaining:
                 break
-            if attempt and retry_backoff > 0.0:
-                _time.sleep(retry_backoff * (2.0 ** (attempt - 1)))
+            if attempt:
+                backoff.sleep_for(attempt, sleep=_time.sleep)
             # Retry isolation: a retry re-enters run_cell with nothing but
             # the CellSpec — build_cell_instance constructs a fresh graph
             # (hence fresh substrate_cache/tree memos) and the solver builds

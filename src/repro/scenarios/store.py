@@ -29,80 +29,22 @@ timing).
 from __future__ import annotations
 
 import hashlib
-import os
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.exceptions import InvalidInstanceError
 from repro.io import dumps_canonical, loads_strict
 from repro.scenarios.specs import normalize_suite, suite_hash
+from repro.utils.jsonl import append_line, iter_jsonl, repair_trailing, write_durable
 
 __all__ = ["ResultStore"]
 
-
-def _repair_trailing(path: Path) -> bool:
-    """Truncate a torn trailing line (kill mid-write left no ``\\n``).
-
-    Readers already skip unparseable lines, but an *append* onto a torn
-    tail would merge the new record into the fragment — losing committed
-    work and making the store hash diverge.  Truncating back to the last
-    complete line turns the crash artifact into a plain missing cell,
-    which resume then recomputes.  Returns whether a repair happened.
-    """
-    if not path.exists():
-        return False
-    with path.open("rb+") as handle:
-        handle.seek(0, os.SEEK_END)
-        size = handle.tell()
-        if size == 0:
-            return False
-        handle.seek(size - 1)
-        if handle.read(1) == b"\n":
-            return False
-        # Scan backwards for the last newline and cut everything after it.
-        position = size
-        last_newline = -1
-        while position > 0 and last_newline < 0:
-            start = max(0, position - 4096)
-            handle.seek(start)
-            data = handle.read(position - start)
-            index = data.rfind(b"\n")
-            if index >= 0:
-                last_newline = start + index
-            position = start
-        handle.truncate(last_newline + 1 if last_newline >= 0 else 0)
-        handle.flush()
-        os.fsync(handle.fileno())
-    return True
-
-
-def _append_line(path: Path, line: str) -> None:
-    """Append one JSONL line with flush + fsync (a torn final line is
-    repaired first so the new line can never merge with a crash fragment;
-    a lost-but-acknowledged line is not tolerated)."""
-    _repair_trailing(path)
-    with path.open("a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-
-
-def _iter_jsonl(path: Path) -> Iterator[dict]:
-    if not path.exists():
-        return
-    with path.open("r", encoding="utf-8") as handle:
-        for raw in handle:
-            raw = raw.strip()
-            if not raw:
-                continue
-            try:
-                payload = loads_strict(raw)
-            except ValueError:
-                # A torn trailing line from a crash mid-write; every
-                # complete line before it is still valid.
-                continue
-            if isinstance(payload, dict):
-                yield payload
+# The durable-JSONL protocol (torn-tail repair, fsync'd appends, directory
+# fsync on file creation) lives in repro.utils.jsonl and is shared with the
+# service write-ahead log; the old private names stay importable.
+_repair_trailing = repair_trailing
+_append_line = append_line
+_iter_jsonl = iter_jsonl
 
 
 class ResultStore:
@@ -149,7 +91,7 @@ class ResultStore:
                 return suite
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {"name": suite["name"], "suite_hash": digest, "suite": suite}
-        self.suite_path.write_text(dumps_canonical(payload) + "\n")
+        write_durable(self.suite_path, dumps_canonical(payload) + "\n")
         return suite
 
     def load_suite(self) -> dict:

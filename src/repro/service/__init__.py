@@ -1,0 +1,54 @@
+"""The durable auction service: crash-tolerant job queue + worker pool + HTTP.
+
+``repro.service`` turns the campaign machinery into a long-running,
+externally-driven service with the same durability contract the result
+store gave campaigns:
+
+* :mod:`repro.service.wal` — an append-only, fsync'd JSONL write-ahead log
+  of job lifecycle events; a fresh process reconstructs exact queue state
+  from disk.
+* :mod:`repro.service.queue` — a durable job queue on the WAL: content-
+  hashed job ids (idempotent submission), lease-based dispatch with
+  heartbeats (at-least-once delivery), a per-job circuit breaker, and a
+  bounded pending set (load shedding).
+* :mod:`repro.service.supervisor` — the worker pool: runs jobs through
+  :func:`repro.scenarios.runner.run_campaign` (and hence ``pmap``'s
+  crash-capturing fan-out), commits results to a per-job
+  :class:`~repro.scenarios.store.ResultStore` *before* acknowledging
+  (effectively-exactly-once), retries with capped seeded-jitter backoff,
+  and drains gracefully on request.
+* :mod:`repro.service.api` / :mod:`repro.service.client` — a stdlib
+  ``ThreadingHTTPServer`` front door and its client (no new hard deps).
+
+The load-bearing differential guarantee: kill -9 the supervisor
+mid-campaign, restart it, and the final ``ResultStore.content_hash()`` is
+bit-identical to an uninterrupted run at any ``jobs``; a zero-fault,
+zero-retry service run is bit-identical to calling ``run_campaign``
+directly.
+"""
+
+from repro.service.queue import (
+    Job,
+    JobQueue,
+    LeaseLostError,
+    QueueFullError,
+    UnknownJobError,
+    job_id_for,
+    normalize_job_spec,
+)
+from repro.service.supervisor import Supervisor, SupervisorConfig
+from repro.service.wal import WAL_EVENTS, WriteAheadLog
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "LeaseLostError",
+    "QueueFullError",
+    "Supervisor",
+    "SupervisorConfig",
+    "UnknownJobError",
+    "WAL_EVENTS",
+    "WriteAheadLog",
+    "job_id_for",
+    "normalize_job_spec",
+]

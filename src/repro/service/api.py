@@ -1,0 +1,217 @@
+"""The stdlib HTTP front door: ``ThreadingHTTPServer``, zero new deps.
+
+Endpoints
+---------
+``POST /jobs``
+    Submit a job spec (JSON body; see
+    :func:`repro.service.queue.normalize_job_spec`).  ``202`` with the job
+    id on creation, ``200`` when an identical job already exists
+    (idempotent submission), ``400`` on an invalid spec, and ``429`` with
+    a ``Retry-After`` header when the bounded queue is full (load
+    shedding: the service rejects work it could not start rather than
+    queueing without bound).
+``GET /jobs`` / ``GET /jobs/{id}``
+    Queue listing / one job's status — including, for failed jobs, the
+    error and the full worker traceback, so a failure is debuggable from
+    this endpoint alone.
+``GET /jobs/{id}/result``
+    The committed result: the durable summary (content hash, failed
+    cells) plus the per-cell records from the job's result store.  ``409``
+    while the job is still pending/running.
+``DELETE /jobs/{id}``
+    Cancel a queued or running job.
+``GET /healthz`` / ``GET /readyz``
+    Liveness (always ``200`` while the process serves) vs. readiness
+    (``503`` once draining or when the queue is full — load balancers
+    stop routing, in-flight work finishes).
+``POST /drain``
+    Trigger the graceful drain (same path as SIGTERM): stop leasing,
+    finish in-flight jobs, then exit.
+
+The server only ever *reads* supervisor results and *calls* queue methods
+that are themselves WAL-durable — the HTTP layer holds no state of its
+own, so killing it loses nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.exceptions import InvalidInstanceError
+from repro.io import dumps_strict, loads_strict
+from repro.scenarios.specs import enumerate_cells
+from repro.service.queue import JobQueue, QueueFullError, UnknownJobError
+from repro.service.supervisor import Supervisor
+
+__all__ = ["ServiceServer", "build_server"]
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` bound to one queue + supervisor pair."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], queue: JobQueue, supervisor: Supervisor):
+        super().__init__(address, _Handler)
+        self.queue = queue
+        self.supervisor = supervisor
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer  # for type checkers
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def log_message(self, format: str, *args: Any) -> None:
+        # Quiet by default; the CLI's own progress lines are the log.
+        pass
+
+    def _send(
+        self, status: int, payload: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> None:
+        body = (dumps_strict(payload) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return loads_strict(raw.decode("utf-8"))
+
+    def _job_or_404(self, job_id: str):
+        try:
+            return self.server.queue.get(job_id)
+        except UnknownJobError:
+            self._send(404, {"error": f"unknown job {job_id!r}"})
+            return None
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        queue, supervisor = self.server.queue, self.server.supervisor
+        if parts == ["healthz"]:
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "draining": supervisor.draining,
+                    "counts": queue.counts(),
+                },
+            )
+        elif parts == ["readyz"]:
+            accepting = queue.accepting()
+            ready = accepting and not supervisor.draining
+            self._send(
+                200 if ready else 503,
+                {"ready": ready, "draining": supervisor.draining, "accepting": accepting},
+            )
+        elif parts == ["jobs"]:
+            now = queue.clock()
+            self._send(
+                200, {"jobs": [job.as_status(now) for job in queue.jobs()]}
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                status = job.as_status(queue.clock())
+                status["has_result"] = supervisor.load_result(job.id) is not None
+                self._send(200, status)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._get_result(parts[1])
+        else:
+            self._send(404, {"error": f"no such endpoint: {self.path}"})
+
+    def _get_result(self, job_id: str) -> None:
+        queue, supervisor = self.server.queue, self.server.supervisor
+        job = self._job_or_404(job_id)
+        if job is None:
+            return
+        summary = supervisor.load_result(job.id)
+        if job.state not in ("DONE", "FAILED") or summary is None:
+            self._send(
+                409,
+                {
+                    "error": f"job {job.id} has no committed result yet",
+                    "state": job.state,
+                },
+            )
+            return
+        payload: dict[str, Any] = {"state": job.state, **summary}
+        if not summary.get("failed"):
+            store = supervisor.store_for(job.id)
+            keys = [cell.key for cell in enumerate_cells(job.spec["suite"])]
+            payload["records"] = store.records(keys)
+        self._send(200, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        queue, supervisor = self.server.queue, self.server.supervisor
+        if parts == ["jobs"]:
+            try:
+                spec = self._read_body()
+                job, created = queue.submit(spec)
+            except QueueFullError as exc:
+                self._send(
+                    429,
+                    {"error": str(exc), "retry_after": exc.retry_after},
+                    headers={"Retry-After": f"{exc.retry_after:g}"},
+                )
+                return
+            except (InvalidInstanceError, ValueError, TypeError) as exc:
+                self._send(400, {"error": str(exc)})
+                return
+            status = job.as_status(queue.clock())
+            status["created"] = created
+            self._send(202 if created else 200, status)
+        elif parts == ["drain"]:
+            supervisor.request_drain()
+            self._send(202, {"draining": True})
+        else:
+            self._send(404, {"error": f"no such endpoint: {self.path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib handler API
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        queue = self.server.queue
+        if len(parts) == 2 and parts[0] == "jobs":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                job = queue.cancel(job.id)
+                self._send(200, job.as_status(queue.clock()))
+        else:
+            self._send(404, {"error": f"no such endpoint: {self.path}"})
+
+
+def build_server(
+    queue: JobQueue,
+    supervisor: Supervisor,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ServiceServer:
+    """Bind the service server (``port=0`` picks an ephemeral port)."""
+    return ServiceServer((host, port), queue, supervisor)
+
+
+def serve_in_thread(server: ServiceServer) -> threading.Thread:
+    """Run ``server.serve_forever`` on a daemon thread (tests, CLI)."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread

@@ -1,0 +1,311 @@
+"""Command-line interface: ``python -m repro.service``.
+
+Subcommands
+-----------
+``serve``
+    Run the service: durable queue + worker pool + HTTP front door.
+    ``--root`` holds the WAL and the per-job result stores; restarting
+    with the same root resumes exactly where the previous process
+    stopped (leases expire, campaigns resume from their stores).
+    SIGTERM (or ``POST /drain``) drains gracefully: stop leasing, finish
+    in-flight jobs, exit 0.
+``submit``
+    Submit a job to a running service: a builtin suite name, a suite-spec
+    JSON file, or a job-spec JSON file.  ``--wait`` polls to completion.
+``status``
+    One job's status (with its committed result once done), or the whole
+    queue when no job id is given.
+``drain``
+    Ask a running service to drain and exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.io import dumps_strict, loads_strict
+from repro.service.api import build_server, serve_in_thread
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.queue import JobQueue
+from repro.service.supervisor import Supervisor, SupervisorConfig
+from repro.utils.backoff import BackoffPolicy
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Durable auction service: crash-tolerant job queue, worker "
+        "supervision, stdlib HTTP front door.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the service (queue + workers + HTTP)")
+    serve.add_argument("--root", required=True, help="service state directory "
+                       "(WAL + per-job result stores); reuse it to resume")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="HTTP port (0 = ephemeral; the chosen port is printed)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="concurrent job-runner threads (default 1)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="pmap fan-out inside each campaign (job specs override)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="bounded queue: queued+running jobs beyond this are "
+                       "rejected with 429 + Retry-After (default 64)")
+    serve.add_argument("--lease-seconds", type=float, default=15.0,
+                       help="job lease duration; a worker that stops heartbeating "
+                       "for this long loses the job (default 15)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="circuit breaker: attempts before a job is "
+                       "quarantined as FAILED (default 3)")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       help="Retry-After seconds advertised on 429 (default 1)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       help="wall-clock budget per job attempt, checked at "
+                       "campaign wave boundaries")
+    serve.add_argument("--cell-retries", type=int, default=0,
+                       help="per-cell retries inside each campaign (default 0)")
+    serve.add_argument("--cell-timeout", type=float, default=None,
+                       help="wall-clock budget per campaign cell")
+    serve.add_argument("--backoff-base", type=float, default=0.5,
+                       help="seconds before the first job retry (default 0.5)")
+    serve.add_argument("--backoff-cap", type=float, default=30.0,
+                       help="upper bound on the retry delay (default 30)")
+    serve.add_argument("--backoff-jitter", type=float, default=0.5,
+                       help="deterministic jitter fraction in [0,1] (default 0.5)")
+    serve.add_argument("--backoff-seed", type=int, default=0,
+                       help="seed of the deterministic jitter stream")
+    serve.add_argument("--wave-delay", type=float, default=0.0,
+                       help="pacing sleep before each campaign wave (timing "
+                       "only, never touches records; used by crash tests)")
+
+    for name, help_text in (
+        ("submit", "submit a job to a running service"),
+        ("status", "query a job (or the whole queue)"),
+        ("drain", "gracefully drain a running service"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("--url", required=True, help="service base URL, "
+                             "e.g. http://127.0.0.1:8642")
+        command.add_argument("--json", action="store_true",
+                             help="emit raw JSON responses")
+        if name == "submit":
+            command.add_argument("spec", help="builtin suite name, suite-spec "
+                                 "JSON file, or job-spec JSON file")
+            command.add_argument("--jobs", type=int, default=None,
+                                 help="pmap fan-out for this job")
+            command.add_argument("--cell-retries", type=int, default=None)
+            command.add_argument("--cell-timeout", type=float, default=None)
+            command.add_argument("--wait", action="store_true",
+                                 help="poll until the job completes")
+            command.add_argument("--timeout", type=float, default=600.0,
+                                 help="--wait deadline in seconds (default 600)")
+        if name == "status":
+            command.add_argument("job", nargs="?", default=None,
+                                 help="job id (omit to list the queue)")
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# serve
+# ---------------------------------------------------------------------- #
+def _serve(args: argparse.Namespace) -> int:
+    queue = JobQueue(
+        args.root,
+        max_pending=args.max_pending,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+        retry_after=args.retry_after,
+    )
+    config = SupervisorConfig(
+        jobs=args.jobs,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        cell_retries=args.cell_retries,
+        cell_timeout=args.cell_timeout,
+        backoff=BackoffPolicy(
+            base=args.backoff_base,
+            cap=args.backoff_cap,
+            jitter=args.backoff_jitter,
+            seed=args.backoff_seed,
+        ),
+        wave_delay=args.wave_delay,
+    )
+    supervisor = Supervisor(queue, config=config)
+    server = build_server(queue, supervisor, host=args.host, port=args.port)
+
+    def _on_term(signum: int, frame: Any) -> None:
+        print("drain requested (signal); finishing in-flight jobs...", flush=True)
+        supervisor.request_drain()
+
+    signal.signal(signal.SIGTERM, _on_term)
+    signal.signal(signal.SIGINT, _on_term)
+
+    serve_in_thread(server)
+    counts = queue.counts()
+    print(f"serving on {server.url} (root: {queue.root})", flush=True)
+    if any(counts[state] for state in ("QUEUED", "RUNNING")):
+        print(
+            f"resumed queue state: {counts['QUEUED']} queued, "
+            f"{counts['RUNNING']} running (leases will be reclaimed)",
+            flush=True,
+        )
+    # The supervisor runs in the foreground; SIGTERM / POST /drain stop the
+    # lease loop, in-flight jobs finish (every ack is already fsync'd — no
+    # separate flush step exists), then the HTTP server is shut down.
+    supervisor.run_forever()
+    server.shutdown()
+    print("drained; exiting 0", flush=True)
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Client-side subcommands
+# ---------------------------------------------------------------------- #
+def _load_job_spec(args: argparse.Namespace) -> dict[str, Any]:
+    path = Path(args.spec)
+    if path.suffix == ".json" or path.exists():
+        if not path.exists():
+            raise SystemExit(f"spec file not found: {args.spec}")
+        payload = loads_strict(path.read_text())
+        if not isinstance(payload, Mapping):
+            raise SystemExit(f"spec file must hold a JSON object: {args.spec}")
+        spec = dict(payload)
+        if "kind" not in spec and "suite" not in spec:
+            # A bare suite spec; wrap it as a campaign job.
+            spec = {"kind": "campaign", "suite": spec}
+    else:
+        spec = {"kind": "campaign", "suite": args.spec}
+    for knob in ("jobs", "cell_retries", "cell_timeout"):
+        value = getattr(args, knob, None)
+        if value is not None:
+            spec[knob] = value
+    return spec
+
+
+def _print(payload: Any, as_json: bool, lines: Sequence[str]) -> None:
+    if as_json:
+        print(dumps_strict(payload, indent=2))
+    else:
+        for line in lines:
+            print(line)
+
+
+def _submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    spec = _load_job_spec(args)
+    try:
+        status = client.submit(spec)
+    except ServiceUnavailable as exc:
+        print(f"rejected: {exc} (retry after {exc.retry_after:g}s)", file=sys.stderr)
+        return 2
+    except ServiceError as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 2
+    _print(
+        status,
+        args.json,
+        [
+            f"job {status['job']} ({status['suite']}): {status['state']}"
+            + ("" if status.get("created") else " [already submitted]")
+        ],
+    )
+    if not args.wait:
+        return 0
+    final = client.wait(status["job"], timeout=args.timeout)
+    if final["state"] == "DONE":
+        result = client.result(final["job"])
+        _print(
+            result,
+            args.json,
+            [
+                f"job {final['job']}: DONE "
+                f"({result['cells']} cells, store hash: {result['content_hash']})",
+            ]
+            + (
+                [f"  failed cells: {', '.join(result['failed_cells'])}"]
+                if result.get("failed_cells")
+                else []
+            ),
+        )
+        return 0 if result.get("claims_ok") and not result.get("failed_cells") else 1
+    _print(
+        final,
+        args.json,
+        [
+            f"job {final['job']}: {final['state']}"
+            + (f" — {final.get('error')}" if final.get("error") else "")
+        ],
+    )
+    return 1
+
+
+def _status(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url)
+    if args.job is None:
+        jobs = client.jobs()
+        _print(
+            {"jobs": jobs},
+            args.json,
+            [
+                f"{job['job']}  {job['state']:<9}  {job['suite']}"
+                f"  attempts={job['attempts']}"
+                for job in jobs
+            ]
+            or ["(queue empty)"],
+        )
+        return 0
+    status = client.status(args.job)
+    lines = [
+        f"job {status['job']} ({status['suite']}): {status['state']} "
+        f"(attempts {status['attempts']}/{status['max_attempts']})"
+    ]
+    if status.get("error"):
+        lines.append(f"  error: {status['error']}")
+    if status["state"] in ("DONE", "FAILED") and status.get("has_result"):
+        result = client.result(args.job)
+        if result.get("failed"):
+            lines.append(f"  quarantined after {result['attempts']} attempts")
+        else:
+            lines.append(f"  store hash: {result['content_hash']}")
+        status = {**status, "result": result}
+    _print(status, args.json, lines)
+    return 0
+
+
+def _drain(args: argparse.Namespace) -> int:
+    response = ServiceClient(args.url).drain()
+    _print(response, args.json, ["drain requested"])
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "serve":
+            return _serve(args)
+        if args.command == "submit":
+            return _submit(args)
+        if args.command == "status":
+            return _status(args)
+        return _drain(args)
+    except BrokenPipeError:
+        # The stdout consumer went away mid-print (e.g. `... | grep -q`).
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise again, and exit cleanly.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

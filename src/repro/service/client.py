@@ -1,0 +1,121 @@
+"""A thin stdlib client for the auction service (urllib, no new deps)."""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Mapping
+
+from repro.io import dumps_strict, loads_strict
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and decoded body."""
+
+    def __init__(self, status: int, payload: Mapping[str, Any] | None) -> None:
+        message = (payload or {}).get("error", f"HTTP {status}")
+        super().__init__(f"{message} (HTTP {status})")
+        self.status = status
+        self.payload = dict(payload or {})
+
+
+class ServiceUnavailable(ServiceError):
+    """429 (queue full, honors ``retry_after``) or 503 (draining)."""
+
+    @property
+    def retry_after(self) -> float:
+        return float(self.payload.get("retry_after", 1.0))
+
+
+class ServiceClient:
+    """Talk to a running ``repro.service`` front door."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        data = (dumps_strict(body) + "\n").encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return loads_strict(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = loads_strict(exc.read().decode("utf-8"))
+            except Exception:
+                payload = {"error": str(exc)}
+            if exc.code in (429, 503):
+                raise ServiceUnavailable(exc.code, payload) from None
+            raise ServiceError(exc.code, payload) from None
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
+        """``POST /jobs``; raises :class:`ServiceUnavailable` on 429."""
+        return self._request("POST", "/jobs", dict(spec))
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/{id}/result``; raises ``ServiceError(409)`` until
+        the job's result is committed."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def drain(self) -> dict[str, Any]:
+        return self._request("POST", "/drain")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        try:
+            return bool(self._request("GET", "/readyz").get("ready"))
+        except ServiceUnavailable:
+            return False
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its status.
+
+        Raises ``TimeoutError`` if the deadline passes first — the job
+        keeps running server-side; this only bounds the *wait*.
+        """
+        deadline = clock() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("DONE", "FAILED", "CANCELLED"):
+                return status
+            if clock() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout:g}s"
+                )
+            sleep(poll)

@@ -1,0 +1,588 @@
+"""A durable, lease-based job queue on top of the write-ahead log.
+
+Every state transition is appended to the WAL *before* it is applied to
+the in-memory table, and replaying the WAL applies the exact same fold —
+so a fresh process reconstructs precisely the state a crashed one had
+acknowledged ("SIGKILL + restart replays to the identical queue state").
+
+Delivery semantics
+------------------
+* **Idempotent submission** — a job's id is the content hash of its
+  normalized spec, so resubmitting the same work returns the existing job
+  (whatever its state) instead of enqueueing a duplicate.  Only a FAILED
+  or CANCELLED job is re-enqueued by a resubmit (attempts reset): retrying
+  quarantined work must be an explicit, cheap operation.
+* **At-least-once dispatch** — a worker holds a job via a *lease* that it
+  must heartbeat; a worker that dies (or the whole supervisor with it)
+  stops heartbeating, the lease expires, and the job is re-queued for the
+  next lease.  Work is therefore never lost, only occasionally re-run —
+  and re-runs are harmless because results are committed to the
+  idempotent, resumable :class:`~repro.scenarios.store.ResultStore`
+  *before* the DONE acknowledgement (effectively exactly once).
+* **Circuit breaker** — every failure or lease expiry increments the job's
+  attempt count; at ``max_attempts`` the job trips to FAILED (quarantined
+  with its error and full traceback, never silently dropped or retried
+  forever).
+* **Load shedding** — ``max_pending`` bounds the queued+running set;
+  submissions beyond it raise :class:`QueueFullError`, which the HTTP
+  front door maps to ``429 Retry-After``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import InvalidInstanceError
+from repro.io import dumps_canonical
+from repro.service.wal import WriteAheadLog
+from repro.scenarios.specs import normalize_suite
+from repro.scenarios.suites import get_suite
+
+__all__ = [
+    "JOB_SCHEMA_VERSION",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "LeaseLostError",
+    "QueueFullError",
+    "UnknownJobError",
+    "job_id_for",
+    "normalize_job_spec",
+]
+
+#: Part of every job id; bumped when job semantics change incompatibly so
+#: ids from older semantics never collide with new submissions.
+JOB_SCHEMA_VERSION = 1
+
+JOB_STATES = ("QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED")
+_TERMINAL = ("DONE", "FAILED", "CANCELLED")
+
+#: Error string recorded when a lease expires (worker death presumed).
+LEASE_EXPIRED_ERROR = "lease expired (worker stopped heartbeating)"
+
+
+class QueueFullError(RuntimeError):
+    """The bounded queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class UnknownJobError(KeyError):
+    """No job with that id has ever been submitted."""
+
+
+class LeaseLostError(RuntimeError):
+    """The worker no longer holds the job (re-leased, cancelled, expired)."""
+
+
+def normalize_job_spec(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate a job spec and normalize it to canonical ``campaign`` form.
+
+    Two kinds are accepted:
+
+    * ``{"kind": "campaign", "suite": <builtin name | suite dict>, ...}``
+      — run a whole scenario campaign.  A builtin suite *name* is resolved
+      to its full spec here, so the job id hashes the actual work, not the
+      label.
+    * ``{"kind": "cell", "topology": {...}, "regime": {...}, "mode":
+      {...}, "seed"?: int, ...}`` — one topology × regime × mode cell
+      (e.g. a single ``OnlineAuction`` stream), wrapped as a single-cell
+      campaign so every job flows through the same durable runner.
+
+    Both accept the execution knobs ``jobs`` (pmap fan-out inside the
+    campaign), ``cell_retries`` and ``cell_timeout``.  Unknown keys are
+    rejected — they are almost always typos that would otherwise silently
+    change nothing.
+    """
+    if not isinstance(spec, Mapping):
+        raise InvalidInstanceError("a job spec must be a dict")
+    spec = dict(spec)
+    kind = spec.pop("kind", "campaign")
+    if kind == "cell":
+        for section in ("topology", "regime", "mode"):
+            if not isinstance(spec.get(section), Mapping):
+                raise InvalidInstanceError(
+                    f"a cell job needs a {section!r} dict; got {spec.get(section)!r}"
+                )
+        suite: Any = {
+            "name": str(spec.pop("name", "cell")),
+            "seed": spec.pop("seed", None),
+            "topologies": [dict(spec.pop("topology"))],
+            "regimes": [dict(spec.pop("regime"))],
+            "modes": [dict(spec.pop("mode"))],
+        }
+    elif kind == "campaign":
+        suite = spec.pop("suite", None)
+        if isinstance(suite, str):
+            try:
+                suite = get_suite(suite)
+            except KeyError as exc:
+                raise InvalidInstanceError(str(exc)) from exc
+        if not isinstance(suite, Mapping):
+            raise InvalidInstanceError(
+                "a campaign job needs a 'suite' (builtin name or suite dict); "
+                f"got {suite!r}"
+            )
+    else:
+        raise InvalidInstanceError(
+            f"unknown job kind {kind!r}; known: 'campaign', 'cell'"
+        )
+
+    normalized: dict[str, Any] = {
+        "kind": "campaign",
+        "suite": normalize_suite(suite),
+    }
+    if spec.get("jobs") is not None:
+        normalized["jobs"] = int(spec.pop("jobs"))
+    else:
+        spec.pop("jobs", None)
+    if spec.get("cell_retries") is not None:
+        normalized["cell_retries"] = max(0, int(spec.pop("cell_retries")))
+    else:
+        spec.pop("cell_retries", None)
+    if spec.get("cell_timeout") is not None:
+        timeout = float(spec.pop("cell_timeout"))
+        if timeout <= 0:
+            raise InvalidInstanceError(f"cell_timeout must be > 0, got {timeout}")
+        normalized["cell_timeout"] = timeout
+    else:
+        spec.pop("cell_timeout", None)
+    if spec:
+        raise InvalidInstanceError(
+            f"unknown job spec keys {sorted(spec)}; allowed: kind, suite, "
+            "topology, regime, mode, name, seed, jobs, cell_retries, cell_timeout"
+        )
+    return normalized
+
+
+def job_id_for(spec: Mapping[str, Any]) -> str:
+    """The content-hashed id of a job spec (normalized first).
+
+    Identical work → identical id, which is what makes submission
+    idempotent: the id depends on the resolved suite contents and the
+    execution knobs, never on submission time or order.
+    """
+    normalized = normalize_job_spec(spec)
+    payload = {"schema": JOB_SCHEMA_VERSION, "spec": normalized}
+    return hashlib.sha256(dumps_canonical(payload).encode()).hexdigest()[:16]
+
+
+@dataclass
+class Job:
+    """One job's current state (a pure fold of its WAL events)."""
+
+    id: str
+    spec: dict[str, Any]
+    state: str = "QUEUED"
+    seq: int = 0
+    attempts: int = 0
+    max_attempts: int = 3
+    submitted_at: float = 0.0
+    worker: str | None = None
+    lease_expires_at: float | None = None
+    not_before: float = 0.0
+    finished_at: float | None = None
+    error: str | None = None
+    error_type: str | None = None
+    traceback: str | None = None
+    events: int = field(default=0, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def as_status(self, now: float | None = None) -> dict[str, Any]:
+        """The JSON-safe status dict served by ``GET /jobs/{id}``."""
+        status: dict[str, Any] = {
+            "job": self.id,
+            "state": self.state,
+            "suite": self.spec["suite"]["name"],
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "submitted_at": self.submitted_at,
+        }
+        if self.state == "RUNNING":
+            status["worker"] = self.worker
+            status["lease_expires_at"] = self.lease_expires_at
+            if now is not None and self.lease_expires_at is not None:
+                status["lease_expired"] = now >= self.lease_expires_at
+        if self.state == "QUEUED" and self.not_before > 0:
+            status["not_before"] = self.not_before
+        if self.finished_at is not None:
+            status["finished_at"] = self.finished_at
+        if self.error is not None:
+            status["error"] = self.error
+            status["error_type"] = self.error_type
+        if self.traceback is not None:
+            status["traceback"] = self.traceback
+        return status
+
+    def snapshot(self) -> dict[str, Any]:
+        """The replay-identity view: every field the WAL fold determines."""
+        return {
+            "state": self.state,
+            "seq": self.seq,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "submitted_at": self.submitted_at,
+            "worker": self.worker,
+            "lease_expires_at": self.lease_expires_at,
+            "not_before": self.not_before,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "error_type": self.error_type,
+            "traceback": self.traceback,
+            "spec": self.spec,
+        }
+
+
+class JobQueue:
+    """The durable queue: WAL-backed state, leases, breaker, bounded intake.
+
+    All methods are thread-safe; every mutation is WAL-append-then-apply,
+    and construction replays the WAL through the identical ``_apply`` fold.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_pending: int | None = None,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+        retry_after: float = 1.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.wal = WriteAheadLog(self.root / "wal.jsonl")
+        self.max_pending = max_pending
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.retry_after = float(retry_after)
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+        for entry in self.wal.replay():
+            self._apply(entry)
+
+    # ------------------------------------------------------------------ #
+    # The fold: WAL event -> state transition (replay and live share it)
+    # ------------------------------------------------------------------ #
+    def _apply(self, entry: Mapping[str, Any]) -> Job | None:
+        event, job_id = entry["event"], entry["job"]
+        job = self._jobs.get(job_id)
+        if event == "SUBMITTED":
+            self._seq += 1
+            job = Job(
+                id=job_id,
+                spec=dict(entry["spec"]),
+                state="QUEUED",
+                seq=self._seq,
+                max_attempts=int(entry.get("max_attempts", self.max_attempts)),
+                submitted_at=float(entry.get("at", 0.0)),
+            )
+            self._jobs[job_id] = job
+        elif job is None:
+            # A non-SUBMITTED event for an unknown job can only appear in a
+            # hand-damaged WAL; ignore it rather than refuse to start.
+            return None
+        elif event == "LEASED":
+            job.state = "RUNNING"
+            job.worker = str(entry.get("worker", ""))
+            job.lease_expires_at = float(entry["expires"])
+        elif event == "HEARTBEAT":
+            if job.state == "RUNNING" and job.worker == entry.get("worker"):
+                job.lease_expires_at = float(entry["expires"])
+        elif event == "RETRYING":
+            job.state = "QUEUED"
+            job.worker = None
+            job.lease_expires_at = None
+            job.attempts = int(entry["attempt"])
+            job.not_before = float(entry.get("not_before", 0.0))
+            job.error = entry.get("error")
+            job.error_type = entry.get("error_type")
+            job.traceback = entry.get("traceback")
+        elif event == "DONE":
+            job.state = "DONE"
+            job.worker = None
+            job.lease_expires_at = None
+            job.finished_at = float(entry.get("at", 0.0))
+            job.error = job.error_type = job.traceback = None
+        elif event == "FAILED":
+            job.state = "FAILED"
+            job.worker = None
+            job.lease_expires_at = None
+            job.finished_at = float(entry.get("at", 0.0))
+            job.attempts = int(entry.get("attempts", job.attempts))
+            job.error = entry.get("error")
+            job.error_type = entry.get("error_type")
+            job.traceback = entry.get("traceback")
+        elif event == "CANCELLED":
+            job.state = "CANCELLED"
+            job.worker = None
+            job.lease_expires_at = None
+            job.finished_at = float(entry.get("at", 0.0))
+        job.events += 1
+        return job
+
+    def _log(self, event: str, job_id: str, **fields: Any) -> Job:
+        """Durably record one event, then apply it (the only write path)."""
+        entry = self.wal.append(event, job_id, **fields)
+        job = self._apply(entry)
+        assert job is not None
+        return job
+
+    # ------------------------------------------------------------------ #
+    # Intake
+    # ------------------------------------------------------------------ #
+    def pending_count(self) -> int:
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values() if job.state in ("QUEUED", "RUNNING")
+            )
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                counts[job.state] += 1
+            return counts
+
+    def accepting(self) -> bool:
+        """Whether a new (non-duplicate) submission would be admitted."""
+        if self.max_pending is None:
+            return True
+        return self.pending_count() < self.max_pending
+
+    def submit(
+        self, spec: Mapping[str, Any], *, max_attempts: int | None = None
+    ) -> tuple[Job, bool]:
+        """Submit a job; returns ``(job, created)``.
+
+        Idempotent: an identical spec maps to the existing QUEUED, RUNNING
+        or DONE job (``created=False``) — a client retrying a submission
+        it is unsure about can never duplicate work.  A FAILED or
+        CANCELLED job is explicitly re-enqueued (attempts reset).  A full
+        queue raises :class:`QueueFullError` (→ HTTP 429).
+        """
+        normalized = normalize_job_spec(spec)
+        job_id = job_id_for(normalized)
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None and not existing.terminal:
+                return existing, False
+            if existing is not None and existing.state == "DONE":
+                return existing, False
+            if not self.accepting():
+                raise QueueFullError(
+                    f"queue is full ({self.pending_count()} pending, "
+                    f"max_pending={self.max_pending})",
+                    retry_after=self.retry_after,
+                )
+            job = self._log(
+                "SUBMITTED",
+                job_id,
+                spec=normalized,
+                max_attempts=int(
+                    self.max_attempts if max_attempts is None else max_attempts
+                ),
+                at=self.clock(),
+            )
+            return job, True
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def expire_leases(self, now: float | None = None) -> list[Job]:
+        """Re-queue every job whose lease has expired (missed heartbeats).
+
+        Each expiry counts as one attempt — a poison job that keeps
+        killing its worker trips the circuit breaker instead of cycling
+        forever.  Returns the jobs whose state changed.
+        """
+        with self._lock:
+            now = self.clock() if now is None else now
+            changed: list[Job] = []
+            for job in list(self._jobs.values()):
+                if job.state != "RUNNING" or job.lease_expires_at is None:
+                    continue
+                if job.lease_expires_at > now:
+                    continue
+                attempt = job.attempts + 1
+                if attempt >= job.max_attempts:
+                    changed.append(
+                        self._log(
+                            "FAILED",
+                            job.id,
+                            error=LEASE_EXPIRED_ERROR,
+                            error_type="LeaseExpired",
+                            attempts=attempt,
+                            at=now,
+                        )
+                    )
+                else:
+                    changed.append(
+                        self._log(
+                            "RETRYING",
+                            job.id,
+                            attempt=attempt,
+                            error=LEASE_EXPIRED_ERROR,
+                            error_type="LeaseExpired",
+                            not_before=now,
+                            at=now,
+                        )
+                    )
+            return changed
+
+    def lease(self, worker: str, now: float | None = None) -> Job | None:
+        """Hand the oldest eligible QUEUED job to ``worker`` (or ``None``).
+
+        Expired leases are reclaimed first, so a restarted supervisor
+        picks up the jobs its crashed predecessor was running as soon as
+        their leases run out.  FIFO by original submission order; a
+        retrying job keeps its place but is held back until its backoff
+        ``not_before`` passes.
+        """
+        with self._lock:
+            now = self.clock() if now is None else now
+            self.expire_leases(now)
+            eligible = [
+                job
+                for job in self._jobs.values()
+                if job.state == "QUEUED" and job.not_before <= now
+            ]
+            if not eligible:
+                return None
+            job = min(eligible, key=lambda j: j.seq)
+            return self._log(
+                "LEASED",
+                job.id,
+                worker=worker,
+                expires=now + self.lease_seconds,
+                at=now,
+            )
+
+    def _held(self, job_id: str, worker: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        if job.state != "RUNNING" or job.worker != worker:
+            raise LeaseLostError(
+                f"job {job_id} is not held by {worker!r} "
+                f"(state={job.state}, worker={job.worker!r})"
+            )
+        return job
+
+    def heartbeat(self, job_id: str, worker: str, now: float | None = None) -> Job:
+        """Extend the lease; raises :class:`LeaseLostError` if it is gone.
+
+        A *late* heartbeat from the still-registered worker renews the
+        lease (the job was not re-leased yet, so nothing was lost); once
+        the job has been re-queued, re-leased or cancelled the worker
+        learns it here and must abandon the run.
+        """
+        with self._lock:
+            now = self.clock() if now is None else now
+            job = self._held(job_id, worker)
+            return self._log(
+                "HEARTBEAT",
+                job_id,
+                worker=worker,
+                expires=now + self.lease_seconds,
+                at=now,
+            )
+
+    def complete(self, job_id: str, worker: str) -> Job:
+        """Acknowledge success.  The caller must have committed the result
+        to its durable store *before* calling this — DONE only ever points
+        at results that already exist on disk."""
+        with self._lock:
+            self._held(job_id, worker)
+            return self._log("DONE", job_id, at=self.clock())
+
+    def report_failure(
+        self,
+        job_id: str,
+        worker: str,
+        error: str,
+        *,
+        error_type: str = "JobError",
+        traceback: str | None = None,
+        delay: float = 0.0,
+    ) -> Job:
+        """Record a failed attempt: re-queue with backoff, or trip the
+        breaker to FAILED once ``max_attempts`` is reached (quarantine —
+        the error and full traceback are kept, never silently dropped)."""
+        with self._lock:
+            now = self.clock()
+            job = self._held(job_id, worker)
+            attempt = job.attempts + 1
+            if attempt >= job.max_attempts:
+                return self._log(
+                    "FAILED",
+                    job_id,
+                    error=error,
+                    error_type=error_type,
+                    traceback=traceback,
+                    attempts=attempt,
+                    at=now,
+                )
+            return self._log(
+                "RETRYING",
+                job_id,
+                attempt=attempt,
+                error=error,
+                error_type=error_type,
+                traceback=traceback,
+                not_before=now + max(0.0, float(delay)),
+                at=now,
+            )
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a QUEUED or RUNNING job (terminal states stay put).
+
+        Cancelling a RUNNING job revokes the lease immediately; the
+        worker discovers the loss at its next heartbeat and abandons the
+        run (already-committed partial results remain in the job's store).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            if job.terminal:
+                return job
+            return self._log("CANCELLED", job_id, at=self.clock())
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job
+
+    def jobs(self) -> list[Job]:
+        """All known jobs in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def state_snapshot(self) -> dict[str, dict[str, Any]]:
+        """Deterministic view of the entire queue (replay-identity tests:
+        a reopened queue's snapshot equals the crashed one's)."""
+        with self._lock:
+            return {job_id: job.snapshot() for job_id, job in sorted(self._jobs.items())}

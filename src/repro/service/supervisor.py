@@ -1,0 +1,318 @@
+"""The worker pool: lease jobs, run campaigns, commit, then acknowledge.
+
+Each worker thread loops ``lease → execute → ack``.  Execution funnels
+every job — whole campaigns and single ``OnlineAuction``-stream cells
+alike — through :func:`repro.scenarios.runner.run_campaign` into a
+per-job :class:`~repro.scenarios.store.ResultStore` at
+``results_root/<job_id>/``.  That one decision buys the service all of the
+store's guarantees:
+
+* **Effectively exactly once** — the result summary is written durably
+  *before* the DONE event is appended (commit-then-ack).  A crash between
+  the two re-runs the job, but ``run_campaign`` resumes from the per-job
+  store, skips every committed cell, and regenerates a bit-identical
+  summary — so the acknowledged result is the same bytes either way.
+* **Kill -9 tolerance** — a supervisor killed mid-campaign leaves
+  committed waves in the store and an unexpired lease in the WAL; the
+  restarted supervisor reclaims the job when the lease runs out and
+  finishes only the missing cells.  The final ``content_hash()`` is
+  bit-identical to an uninterrupted run at any ``jobs``.
+* **Worker-process supervision** — inside ``run_campaign``, ``pmap``
+  captures per-cell failures and restarts pool workers killed by SIGKILL
+  (``WorkerCrash``); persistent cell failures are quarantined as failed
+  records, never silently dropped.
+
+Job-level robustness on top: a heartbeat thread keeps the lease alive (a
+worker that loses it abandons the run mid-wave); failures are retried with
+capped exponential backoff and deterministic per-job jitter
+(:class:`repro.utils.backoff.BackoffPolicy`); ``job_timeout`` bounds a
+job's wall clock, checked at wave boundaries (pair it with
+``cell_timeout`` to bound a single hung cell); the queue's circuit breaker
+trips a poison job to FAILED after ``max_attempts``, committing a durable
+failure record with the full traceback.
+
+Graceful drain: :meth:`Supervisor.request_drain` stops leasing; in-flight
+jobs finish and are acknowledged (every acknowledgement is already
+fsync'd, so there is no separate "flush" step); worker threads then exit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback as _traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.io import dumps_canonical, loads_strict
+from repro.scenarios.runner import run_campaign
+from repro.scenarios.specs import enumerate_cells
+from repro.scenarios.store import ResultStore
+from repro.service.queue import Job, JobQueue, LeaseLostError, UnknownJobError
+from repro.utils.backoff import BackoffPolicy
+from repro.utils.jsonl import write_durable
+
+__all__ = [
+    "JobAborted",
+    "JobTimeoutError",
+    "Supervisor",
+    "SupervisorConfig",
+]
+
+
+class JobTimeoutError(Exception):
+    """A job exceeded its ``job_timeout`` wall-clock budget."""
+
+
+class JobAborted(Exception):
+    """The run must stop without acking: lease lost, cancelled, or hard stop."""
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunables of the worker pool.
+
+    ``jobs`` is the pmap fan-out *inside* each campaign (a job spec's own
+    ``jobs`` knob wins); ``workers`` is the number of concurrent job-runner
+    threads.  ``wave_delay`` inserts a sleep before each campaign wave —
+    timing-only pacing that never touches records; the signal tests and
+    the CI smoke lane use it to widen the kill window.
+    """
+
+    jobs: int | None = None
+    workers: int = 1
+    heartbeat_seconds: float | None = None  # default: lease_seconds / 3
+    job_timeout: float | None = None
+    cell_retries: int = 0
+    cell_timeout: float | None = None
+    backoff: BackoffPolicy = field(
+        default_factory=lambda: BackoffPolicy(base=0.5, cap=30.0, jitter=0.5)
+    )
+    wave_delay: float = 0.0
+    poll_interval: float = 0.2
+
+
+class Supervisor:
+    """Runs jobs from a :class:`~repro.service.queue.JobQueue` to completion."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        results_root: str | Path | None = None,
+        *,
+        config: SupervisorConfig | None = None,
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.queue = queue
+        self.results_root = Path(
+            queue.root / "results" if results_root is None else results_root
+        )
+        self.config = config or SupervisorConfig()
+        self.clock = clock
+        self.sleep = sleep
+        self._draining = threading.Event()
+        self._stopping = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    # Results layout
+    # ------------------------------------------------------------------ #
+    def store_for(self, job_id: str) -> ResultStore:
+        """The per-job result store (resumable across supervisor restarts)."""
+        return ResultStore(self.results_root / job_id)
+
+    def result_path(self, job_id: str) -> Path:
+        return self.results_root / job_id / "result.json"
+
+    def load_result(self, job_id: str) -> dict[str, Any] | None:
+        """The committed result summary, or ``None`` if not committed yet."""
+        path = self.result_path(job_id)
+        if not path.exists():
+            return None
+        return loads_strict(path.read_text())
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def request_drain(self) -> None:
+        """Graceful shutdown: stop leasing, finish in-flight jobs, exit.
+
+        Idempotent and thread/signal-safe (SIGTERM handlers call it).
+        """
+        self._draining.set()
+
+    def stop(self) -> None:
+        """Hard stop: abort in-flight jobs at their next wave boundary
+        *without* acknowledging them — their leases expire and a later
+        supervisor resumes them from their stores."""
+        self._draining.set()
+        self._stopping.set()
+
+    def run_forever(self) -> None:
+        """Run ``config.workers`` job-runner threads until drained."""
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, args=(f"worker-{index}",), daemon=True
+            )
+            for index in range(max(1, int(self.config.workers)))
+        ]
+        for thread in self._threads:
+            thread.start()
+        for thread in self._threads:
+            thread.join()
+
+    def run_until_idle(self, worker: str = "worker-0") -> list[Job]:
+        """Execute leasable jobs until none are eligible (test/CLI helper)."""
+        done: list[Job] = []
+        while True:
+            job = self.run_one(worker)
+            if job is None:
+                return done
+            done.append(job)
+
+    def run_one(self, worker: str = "worker-0") -> Job | None:
+        """Lease and execute one job; ``None`` when nothing is eligible."""
+        if self._stopping.is_set():
+            return None
+        job = self.queue.lease(worker)
+        if job is None:
+            return None
+        self._execute(job, worker)
+        return job
+
+    def _worker_loop(self, worker: str) -> None:
+        while not self._stopping.is_set():
+            if self._draining.is_set():
+                # Drain: keep clearing already-queued work?  No — drain
+                # means stop *leasing*; in-flight jobs (handled inside
+                # _execute) finish, queued jobs wait for the next process.
+                return
+            job = self.queue.lease(worker)
+            if job is None:
+                self.sleep(self.config.poll_interval)
+                continue
+            self._execute(job, worker)
+
+    # ------------------------------------------------------------------ #
+    # One job
+    # ------------------------------------------------------------------ #
+    def _execute(self, job: Job, worker: str) -> None:
+        config = self.config
+        spec = job.spec
+        suite: Mapping[str, Any] = spec["suite"]
+        store = self.store_for(job.id)
+        deadline = (
+            self.clock() + config.job_timeout if config.job_timeout else None
+        )
+        abort = threading.Event()
+        heartbeat_stop = threading.Event()
+        heartbeat_every = config.heartbeat_seconds or self.queue.lease_seconds / 3.0
+
+        def _heartbeat_loop() -> None:
+            while not heartbeat_stop.wait(heartbeat_every):
+                try:
+                    self.queue.heartbeat(job.id, worker)
+                except (LeaseLostError, UnknownJobError):
+                    abort.set()
+                    return
+
+        def _progress(message: str) -> None:
+            # Called by run_campaign before each wave: the only safe points
+            # to abort (committed waves stay committed, nothing is torn).
+            if abort.is_set() or self._stopping.is_set():
+                raise JobAborted(f"job {job.id} aborted: {message}")
+            if deadline is not None and self.clock() > deadline:
+                raise JobTimeoutError(
+                    f"job {job.id} exceeded job_timeout={config.job_timeout:g}s"
+                )
+            if config.wave_delay > 0:
+                self.sleep(config.wave_delay)
+
+        heartbeat_thread = threading.Thread(target=_heartbeat_loop, daemon=True)
+        heartbeat_thread.start()
+        try:
+            result = run_campaign(
+                suite,
+                store=store,
+                jobs=spec.get("jobs", config.jobs),
+                retries=spec.get("cell_retries", config.cell_retries),
+                cell_timeout=spec.get("cell_timeout", config.cell_timeout),
+                progress=_progress,
+            )
+            summary = self._summarize(job, result.suite)
+            write_durable(self.result_path(job.id), dumps_canonical(summary) + "\n")
+            self.queue.complete(job.id, worker)
+        except JobAborted:
+            # Lease lost / cancelled / hard stop: ack nothing.  Whatever
+            # was committed stays in the store for the next holder.
+            pass
+        except (LeaseLostError, UnknownJobError):
+            pass
+        except Exception as exc:
+            self._handle_failure(job, worker, exc)
+        finally:
+            heartbeat_stop.set()
+            heartbeat_thread.join()
+
+    def _summarize(self, job: Job, suite: Mapping[str, Any]) -> dict[str, Any]:
+        """The durable job result, derived *only* from the committed store.
+
+        Every field is a pure function of the store contents and the suite
+        spec — never of this process's path to completion — so an
+        interrupted-and-resumed job commits byte-identical bytes to an
+        uninterrupted one (the service's load-bearing guarantee).
+        """
+        store = self.store_for(job.id)
+        keys = [cell.key for cell in enumerate_cells(suite)]
+        records = store.records(keys)
+        failed_cells = sorted(
+            key for key, record in records.items() if record.get("failed")
+        )
+        return {
+            "job": job.id,
+            "suite": suite["name"],
+            "cells": len(keys),
+            "failed_cells": failed_cells,
+            "claims_ok": all(
+                record.get("claims_ok", True) for record in records.values()
+            ),
+            "content_hash": store.content_hash(keys),
+        }
+
+    def _handle_failure(self, job: Job, worker: str, exc: Exception) -> None:
+        """Record one failed attempt: backoff-requeue or trip the breaker."""
+        error = f"{type(exc).__name__}: {exc}"
+        error_type = getattr(exc, "error_type", type(exc).__name__)
+        tb = getattr(exc, "traceback", None) or _traceback.format_exc()
+        attempt = job.attempts + 1
+        if attempt >= job.max_attempts:
+            # Quarantine: commit the durable failure record *before* the
+            # FAILED ack, mirroring the success path's commit-then-ack.
+            failure = {
+                "job": job.id,
+                "suite": job.spec["suite"]["name"],
+                "failed": True,
+                "error": error,
+                "error_type": error_type,
+                "traceback": tb,
+                "attempts": attempt,
+            }
+            write_durable(self.result_path(job.id), dumps_canonical(failure) + "\n")
+        try:
+            self.queue.report_failure(
+                job.id,
+                worker,
+                error,
+                error_type=error_type,
+                traceback=tb,
+                delay=self.config.backoff.delay(attempt, scope=job.id),
+            )
+        except (LeaseLostError, UnknownJobError):
+            # Re-leased or cancelled while we were failing: nothing to record.
+            pass

@@ -1,0 +1,106 @@
+"""The service write-ahead log: every job lifecycle event, durably, in order.
+
+One JSONL line per event::
+
+    {"event": "SUBMITTED", "job": "<id>", "at": 1723100000.0, ...}
+
+Appends go through :func:`repro.utils.jsonl.append_line` — the same
+torn-tail-repairing, fsync'd protocol the campaign result store uses (plus
+a directory fsync when the append creates the file), so a kill -9 at any
+byte offset leaves a log whose complete prefix is intact and whose torn
+tail is truncated before the next append.  Replaying the log from a fresh
+process reconstructs the exact queue state the crashed process had
+acknowledged; anything it had *not* acknowledged was never promised.
+
+The WAL records *facts*, not state: the queue derives state by folding the
+event sequence (:meth:`repro.service.queue.JobQueue` owns the fold).  That
+keeps the log append-only forever — no compaction step can lose history —
+and makes "SIGKILL + restart replays to the identical queue state" a
+property of pure code over bytes on disk.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.io import dumps_canonical
+from repro.utils.jsonl import append_line, iter_jsonl, repair_trailing
+
+__all__ = ["WAL_EVENTS", "WriteAheadLog"]
+
+#: The job lifecycle vocabulary.  SUBMITTED enters (or re-enters) a job,
+#: LEASED hands it to a worker, HEARTBEAT extends the lease, RETRYING
+#: returns it to the queue with an attempt count and a not-before time,
+#: DONE/FAILED/CANCELLED are terminal (FAILED is the tripped circuit
+#: breaker — the job is quarantined, never silently dropped).
+WAL_EVENTS = (
+    "SUBMITTED",
+    "LEASED",
+    "HEARTBEAT",
+    "RETRYING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+)
+
+
+class WriteAheadLog:
+    """An append-only, fsync'd JSONL log of job lifecycle events.
+
+    Thread-safe: the supervisor's worker threads and the HTTP handler
+    threads append through one lock, so lines never interleave.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        # Heal a torn tail once at open; appends re-check defensively.
+        self.repair()
+
+    def repair(self) -> bool:
+        """Truncate a torn trailing line left by a crash mid-write."""
+        with self._lock:
+            return repair_trailing(self.path)
+
+    def append(self, event: str, job_id: str, **fields: Any) -> dict:
+        """Durably append one event line and return it as written.
+
+        The write is acknowledged only after fsync: an event the caller
+        acts on (a lease handed out, a result acknowledged) is already on
+        disk when the call returns.
+        """
+        if event not in WAL_EVENTS:
+            raise ValueError(f"unknown WAL event {event!r}; known: {WAL_EVENTS}")
+        if not job_id:
+            raise ValueError("job_id must be non-empty")
+        entry: dict[str, Any] = {"event": event, "job": job_id, **fields}
+        line = dumps_canonical(entry)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            append_line(self.path, line)
+        return entry
+
+    def replay(self) -> Iterator[dict]:
+        """Yield the parseable event lines in append order.
+
+        Lines that are torn (crash mid-write) or missing the event/job
+        fields are skipped — they were never acknowledged, so no state can
+        depend on them.
+        """
+        for entry in iter_jsonl(self.path):
+            if entry.get("event") in WAL_EVENTS and entry.get("job"):
+                yield entry
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.replay())
+
+    def events_for(self, job_id: str) -> list[dict]:
+        """All acknowledged events of one job, in order (debugging aid)."""
+        return [entry for entry in self.replay() if entry["job"] == job_id]
+
+
+def event_line(entry: Mapping[str, Any]) -> str:
+    """Canonical serialization of one event (exposed for tests)."""
+    return dumps_canonical(dict(entry))

@@ -1,5 +1,7 @@
-"""Small shared utilities: deterministic randomness, timing, tables."""
+"""Small shared utilities: deterministic randomness, timing, tables,
+retry backoff, durable JSONL."""
 
+from repro.utils.backoff import BackoffPolicy
 from repro.utils.prng import ensure_rng, spawn_rngs
 from repro.utils.timing import Timer
 from repro.utils.tables import Table, format_float
@@ -11,6 +13,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "BackoffPolicy",
     "ensure_rng",
     "spawn_rngs",
     "Timer",

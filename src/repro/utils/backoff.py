@@ -1,0 +1,103 @@
+"""One retry-backoff policy for the whole repo (runner and service).
+
+Capped exponential backoff with *deterministic* seeded jitter: the delay
+before retry ``attempt`` (1-based) is::
+
+    min(cap, base * factor ** (attempt - 1)) * (1 - jitter * u)
+
+where ``u ∈ [0, 1)`` is a pure hash of ``(seed, scope, attempt)`` — no
+ambient RNG, no wall clock.  Two processes retrying the same job therefore
+compute the *same* schedule (replayable, testable with a recorded sleep),
+while different jobs (different ``scope``) decorrelate, which is the whole
+point of jitter: a crashed supervisor restarting fifty jobs must not have
+them all retry in lockstep.
+
+``jitter`` shrinks the delay (never grows it), so ``cap`` is a hard upper
+bound and ``jitter=0`` reproduces the classic doubling schedule exactly —
+the campaign runner's recorded-sleep regression test pins that equivalence.
+
+The clock and sleep are injectable throughout, so every consumer is
+testable without wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["BackoffPolicy", "jitter_fraction"]
+
+
+def jitter_fraction(seed: int, scope: str, attempt: int) -> float:
+    """A deterministic draw in ``[0, 1)`` from ``(seed, scope, attempt)``."""
+    digest = hashlib.sha256(f"{seed}:{scope}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    Parameters
+    ----------
+    base:
+        Delay in seconds before the first retry (attempt 1).  ``0`` makes
+        every delay zero — "retry immediately", the runner's default.
+    factor:
+        Multiplier applied per further attempt (default: doubling).
+    cap:
+        Hard upper bound on the undithered delay; ``None`` means uncapped.
+    jitter:
+        Fraction of the delay eligible for removal, in ``[0, 1]``.  The
+        jittered delay lies in ``[(1 - jitter) * d, d]``.
+    seed:
+        Root of the jitter stream; combined with the per-call ``scope``
+        label (e.g. a job id) so distinct jobs decorrelate while repeated
+        runs of one job reproduce bit-identically.
+    """
+
+    base: float = 0.0
+    factor: float = 2.0
+    cap: float | None = None
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base must be >= 0, got {self.base}")
+        if self.factor < 1:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.cap is not None and self.cap < 0:
+            raise ValueError(f"cap must be >= 0, got {self.cap}")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, *, scope: str = "") -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base * self.factor ** (attempt - 1)
+        if self.cap is not None:
+            raw = min(raw, self.cap)
+        if self.jitter and raw > 0:
+            raw *= 1.0 - self.jitter * jitter_fraction(self.seed, scope, attempt)
+        return raw
+
+    def delays(self, attempts: int, *, scope: str = "") -> list[float]:
+        """The full schedule for ``attempts`` retries (handy in tests)."""
+        return [self.delay(k, scope=scope) for k in range(1, attempts + 1)]
+
+    def sleep_for(
+        self,
+        attempt: int,
+        *,
+        scope: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> float:
+        """Sleep the attempt's delay (skipping zero) and return it."""
+        seconds = self.delay(attempt, scope=scope)
+        if seconds > 0:
+            sleep(seconds)
+        return seconds

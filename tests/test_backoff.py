@@ -1,0 +1,85 @@
+"""Tests of the shared retry-backoff policy (``repro.utils.backoff``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.backoff import BackoffPolicy, jitter_fraction
+
+
+class TestSchedule:
+    def test_plain_doubling_without_jitter(self):
+        policy = BackoffPolicy(base=0.25)
+        assert policy.delays(4) == [0.25, 0.5, 1.0, 2.0]
+
+    def test_custom_factor(self):
+        policy = BackoffPolicy(base=1.0, factor=3.0)
+        assert policy.delays(3) == [1.0, 3.0, 9.0]
+
+    def test_cap_is_a_hard_upper_bound(self):
+        policy = BackoffPolicy(base=1.0, cap=4.0)
+        assert policy.delays(5) == [1.0, 2.0, 4.0, 4.0, 4.0]
+
+    def test_zero_base_means_retry_immediately(self):
+        assert BackoffPolicy().delays(3) == [0.0, 0.0, 0.0]
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError, match="attempt"):
+            BackoffPolicy(base=1.0).delay(0)
+
+
+class TestJitter:
+    def test_deterministic_across_policies(self):
+        a = BackoffPolicy(base=1.0, jitter=0.5, seed=7)
+        b = BackoffPolicy(base=1.0, jitter=0.5, seed=7)
+        assert a.delays(6, scope="job-1") == b.delays(6, scope="job-1")
+
+    def test_scopes_decorrelate(self):
+        policy = BackoffPolicy(base=1.0, jitter=0.5, seed=7)
+        assert policy.delays(6, scope="job-1") != policy.delays(6, scope="job-2")
+
+    def test_seeds_decorrelate(self):
+        a = BackoffPolicy(base=1.0, jitter=0.5, seed=1)
+        b = BackoffPolicy(base=1.0, jitter=0.5, seed=2)
+        assert a.delays(6, scope="j") != b.delays(6, scope="j")
+
+    def test_jitter_only_shrinks_within_bounds(self):
+        policy = BackoffPolicy(base=1.0, cap=8.0, jitter=0.5, seed=3)
+        plain = BackoffPolicy(base=1.0, cap=8.0)
+        for attempt in range(1, 10):
+            jittered = policy.delay(attempt, scope="s")
+            full = plain.delay(attempt)
+            assert 0.5 * full <= jittered <= full
+
+    def test_jitter_fraction_in_unit_interval(self):
+        draws = [jitter_fraction(seed, "scope", k) for seed in range(5) for k in range(1, 5)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+        assert len(set(draws)) == len(draws)  # no accidental collisions here
+
+
+class TestValidationAndSleep:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": -1.0},
+            {"factor": 0.5},
+            {"cap": -2.0},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+    def test_sleep_for_uses_injected_sleep(self):
+        recorded = []
+        policy = BackoffPolicy(base=0.25)
+        for attempt in (1, 2, 3):
+            policy.sleep_for(attempt, sleep=recorded.append)
+        assert recorded == [0.25, 0.5, 1.0]
+
+    def test_sleep_for_skips_zero_delay(self):
+        recorded = []
+        BackoffPolicy().sleep_for(1, sleep=recorded.append)
+        assert recorded == []

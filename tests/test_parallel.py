@@ -309,3 +309,32 @@ class TestCaptureMode:
 
         with pytest.raises(BrokenProcessPool):
             parallel.pmap(_kill_self, range(6), jobs=2, chunk_size=1)
+
+
+class TestCapturedTracebacks:
+    """ISSUE-8 satellite: the worker's full traceback crosses the pickle
+    boundary, so a quarantined failure is debuggable from the record alone."""
+
+    def test_capture_preserves_the_raising_frame(self):
+        results = parallel.pmap(_boom, range(4), jobs=2, chunk_size=1, on_error="capture")
+        error = results[1]
+        assert isinstance(error, parallel.WorkerError)
+        assert "ValueError: boom at 1" in error.traceback
+        assert "in _boom" in error.traceback
+
+    def test_traceback_identical_serial_vs_pool(self):
+        """jobs=1 and jobs=N captures must be the same bytes — the capture
+        site's own frame is trimmed so only the task's frames remain."""
+        serial = parallel.pmap(_boom, range(4), jobs=1, on_error="capture")
+        pooled = parallel.pmap(_boom, range(4), jobs=2, chunk_size=1, on_error="capture")
+        assert serial[1].traceback == pooled[1].traceback
+
+    def test_pickle_roundtrip_keeps_the_traceback(self):
+        import pickle
+
+        error = parallel.WorkerError(
+            "msg", error_type="KeyError", traceback="Traceback ...\nKeyError: 'msg'\n"
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.traceback == error.traceback
+        assert clone.error_type == "KeyError"

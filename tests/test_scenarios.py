@@ -209,6 +209,42 @@ class TestResultStore:
         assert store.load_suite()["seed"] == 99
 
 
+class TestStoreDurability:
+    """ISSUE-8 satellite: commits survive *power loss*, not just process
+    death.  fsync on the file makes the bytes durable, but a freshly
+    created file can vanish with its (unsynced) directory entry — so
+    creating a store file must fsync the parent directory too."""
+
+    def test_creating_store_files_fsyncs_their_directory(self, tmp_path, monkeypatch):
+        import os
+        import stat
+
+        real_fsync = os.fsync
+        synced_dir_inodes = set()
+
+        def spying_fsync(fd):
+            status = os.fstat(fd)
+            if stat.S_ISDIR(status.st_mode):
+                synced_dir_inodes.add(status.st_ino)
+            return real_fsync(fd)
+
+        monkeypatch.setattr("os.fsync", spying_fsync)
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_suite())
+        store.append("k", "h", {"v": 1})
+        assert (tmp_path / "s").stat().st_ino in synced_dir_inodes
+
+    def test_commit_then_reopen_sees_identical_content(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.initialize(_tiny_suite())
+        store.append("k", "h", {"v": 1.5})
+        committed_hash = store.content_hash()
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.completed() == {"k": "h"}
+        assert reopened.records()["k"]["v"] == 1.5
+        assert reopened.content_hash() == committed_hash
+
+
 # ---------------------------------------------------------------------- #
 # Runner
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,208 @@
+"""Tests of the HTTP front door (``repro.service.api``/``client``).
+
+The server runs in-process on an ephemeral port; the supervisor is driven
+explicitly (``run_until_idle``) so every test is deterministic — no
+background worker races the assertions.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import JobQueue, Supervisor, SupervisorConfig
+from repro.service.api import build_server, serve_in_thread
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.utils.backoff import BackoffPolicy
+
+
+def _suite(name="api-tiny"):
+    return {
+        "name": name,
+        "seed": 11,
+        "topologies": [{"name": "g", "family": "grid", "rows": 3, "cols": 3}],
+        "regimes": [{"name": "r", "capacity": 6.0, "num_requests": 8}],
+        "modes": [{"name": "off", "kind": "offline", "bound": "none"}],
+    }
+
+
+@pytest.fixture()
+def service(tmp_path):
+    queue = JobQueue(
+        tmp_path / "svc", max_pending=2, lease_seconds=60.0, retry_after=3.0
+    )
+    supervisor = Supervisor(queue, config=SupervisorConfig(backoff=BackoffPolicy()))
+    server = build_server(queue, supervisor)
+    serve_in_thread(server)
+    try:
+        yield queue, supervisor, ServiceClient(server.url), server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestJobsEndpoints:
+    def test_submit_run_result_roundtrip(self, service):
+        queue, supervisor, client, _ = service
+        status = client.submit({"kind": "campaign", "suite": _suite(), "jobs": 1})
+        assert status["state"] == "QUEUED" and status["created"] is True
+
+        # Identical re-submission maps to the same job (HTTP 200, not 202).
+        again = client.submit({"kind": "campaign", "suite": _suite(), "jobs": 1})
+        assert again["job"] == status["job"] and again["created"] is False
+
+        # No committed result yet -> 409 with the current state.
+        with pytest.raises(ServiceError) as exc_info:
+            client.result(status["job"])
+        assert exc_info.value.status == 409
+
+        supervisor.run_until_idle()
+        final = client.wait(status["job"], timeout=30.0)
+        assert final["state"] == "DONE" and final["has_result"] is True
+        result = client.result(status["job"])
+        assert result["state"] == "DONE"
+        assert result["cells"] == 1 and result["failed_cells"] == []
+        assert len(result["records"]) == 1
+        assert result["content_hash"]
+
+    def test_listing_and_unknown_job(self, service):
+        _, _, client, _ = service
+        assert client.jobs() == []
+        with pytest.raises(ServiceError) as exc_info:
+            client.status("feedfacecafebeef")
+        assert exc_info.value.status == 404
+        client.submit({"suite": _suite()})
+        assert [job["state"] for job in client.jobs()] == ["QUEUED"]
+
+    def test_bad_specs_are_rejected_with_400(self, service):
+        _, _, client, _ = service
+        for spec in (
+            {"kind": "campaign"},  # no suite
+            {"kind": "campaign", "suite": "no-such-builtin"},
+            {"kind": "campaign", "suite": _suite(), "typo_knob": 1},
+            {"kind": "batch", "suite": _suite()},
+        ):
+            with pytest.raises(ServiceError) as exc_info:
+                client.submit(spec)
+            assert exc_info.value.status == 400
+
+    def test_full_queue_returns_429_with_retry_after(self, service):
+        _, _, client, server = service
+        client.submit({"suite": _suite("a")})
+        client.submit({"suite": _suite("b")})  # max_pending=2: now full
+        with pytest.raises(ServiceUnavailable) as exc_info:
+            client.submit({"suite": _suite("c")})
+        assert exc_info.value.status == 429
+        assert exc_info.value.retry_after == 3.0
+
+        # The Retry-After *header* is what generic HTTP clients honor.
+        request = urllib.request.Request(
+            server.url + "/jobs",
+            data=b'{"suite": "smoke"}',
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as http_info:
+            urllib.request.urlopen(request)
+        assert http_info.value.code == 429
+        assert http_info.value.headers["Retry-After"] == "3"
+
+    def test_cancel(self, service):
+        _, _, client, _ = service
+        job = client.submit({"suite": _suite()})["job"]
+        cancelled = client.cancel(job)
+        assert cancelled["state"] == "CANCELLED"
+        # Idempotent: cancelling again reports the same terminal state.
+        assert client.cancel(job)["state"] == "CANCELLED"
+
+    def test_failed_job_serves_its_traceback(self, service):
+        queue, _, client, _ = service
+        # A poison job: every attempt times out instantly at the first wave.
+        supervisor = Supervisor(
+            queue,
+            config=SupervisorConfig(job_timeout=1e-9, backoff=BackoffPolicy()),
+        )
+        job = client.submit({"suite": _suite()})["job"]
+        supervisor.run_until_idle()
+        status = client.status(job)
+        assert status["state"] == "FAILED"
+        assert status["error_type"] == "JobTimeoutError"
+        assert "JobTimeoutError" in status["traceback"]
+        result = client.result(job)
+        assert result["failed"] is True and result["attempts"] == 3
+
+
+class TestHealthEndpoints:
+    def test_healthz_and_readyz(self, service):
+        _, supervisor, client, _ = service
+        health = client.health()
+        assert health["status"] == "ok" and health["draining"] is False
+        assert health["counts"]["QUEUED"] == 0
+        assert client.ready() is True
+
+        supervisor.request_drain()
+        # Liveness stays 200 while draining; readiness flips to 503 so load
+        # balancers stop routing while in-flight work finishes.
+        assert client.health()["draining"] is True
+        assert client.ready() is False
+
+    def test_readyz_flips_when_the_queue_fills(self, service):
+        _, _, client, _ = service
+        client.submit({"suite": _suite("a")})
+        assert client.ready() is True
+        client.submit({"suite": _suite("b")})
+        assert client.ready() is False
+
+    def test_drain_endpoint(self, service):
+        _, supervisor, client, _ = service
+        assert supervisor.draining is False
+        client.drain()
+        assert supervisor.draining is True
+
+    def test_unknown_endpoint_404s(self, service):
+        _, _, client, _ = service
+        with pytest.raises(ServiceError) as exc_info:
+            client._request("GET", "/no/such/thing")
+        assert exc_info.value.status == 404
+
+
+class TestCli:
+    def test_submit_wait_status_drain_roundtrip(self, service, tmp_path, capsys):
+        import json
+        import threading
+        import time
+
+        from repro.service.cli import main as service_main
+
+        _, supervisor, client, server = service
+        spec = tmp_path / "job.json"
+        spec.write_text(json.dumps({"kind": "campaign", "suite": _suite(), "jobs": 1}))
+
+        worker = threading.Thread(
+            target=lambda: (time.sleep(0.3), supervisor.run_until_idle())
+        )
+        worker.start()
+        try:
+            code = service_main(["submit", "--url", server.url, str(spec), "--wait"])
+        finally:
+            worker.join()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DONE" in out and "store hash:" in out
+
+        job = client.jobs()[0]["job"]
+        assert service_main(["status", "--url", server.url, job]) == 0
+        assert "store hash:" in capsys.readouterr().out
+        assert service_main(["status", "--url", server.url]) == 0
+        assert job in capsys.readouterr().out
+        assert service_main(["drain", "--url", server.url]) == 0
+        assert supervisor.draining
+
+    def test_submit_rejects_bad_spec_without_traceback(self, service, tmp_path, capsys):
+        from repro.service.cli import main as service_main
+
+        _, _, _, server = service
+        assert service_main(["submit", "--url", server.url, "no-such-suite"]) == 2
+        assert "rejected" in capsys.readouterr().err
