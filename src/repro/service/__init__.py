@@ -19,14 +19,35 @@ store gave campaigns:
   and drains gracefully on request.
 * :mod:`repro.service.api` / :mod:`repro.service.client` — a stdlib
   ``ThreadingHTTPServer`` front door and its client (no new hard deps).
+* :mod:`repro.service.snapshot` — WAL compaction: checkpoint the folded
+  queue state to a content-hashed snapshot and truncate the log; replay =
+  snapshot + tail, safe at any crash point.
+* :mod:`repro.service.chaos` — the service-level chaos harness: a seeded
+  fault plan (torn WAL tails, failed appends, supervisor kills, lease
+  steals, wall-clock jumps) driven through an in-process supervisor
+  *fleet* sharing one root, verified bit-identical against a serial
+  fault-free run.
 
-The load-bearing differential guarantee: kill -9 the supervisor
-mid-campaign, restart it, and the final ``ResultStore.content_hash()`` is
-bit-identical to an uninterrupted run at any ``jobs``; a zero-fault,
-zero-retry service run is bit-identical to calling ``run_campaign``
-directly.
+Multi-node: several supervisor processes may share one root.  Leases carry
+monotonically increasing **fencing tokens** (a stale holder can never
+acknowledge over the peer that stole its job), every queue method is a
+cross-process transaction under ``flock``, and lease/backoff arithmetic
+runs on the monotonic clock, so wall-clock steps change nothing.
+
+The load-bearing differential guarantee: kill -9 any subset of the
+supervisors mid-campaign, restart them, and the final
+``ResultStore.content_hash()`` of every job is bit-identical to an
+uninterrupted serial run at any ``jobs``; a zero-fault, zero-retry
+service run is bit-identical to calling ``run_campaign`` directly.
 """
 
+from repro.service.chaos import (
+    ChaosPlan,
+    ChaosReport,
+    SupervisorKilled,
+    normalize_chaos_spec,
+    run_chaos_harness,
+)
 from repro.service.queue import (
     Job,
     JobQueue,
@@ -36,19 +57,28 @@ from repro.service.queue import (
     job_id_for,
     normalize_job_spec,
 )
+from repro.service.snapshot import SnapshotError, load_snapshot, write_snapshot
 from repro.service.supervisor import Supervisor, SupervisorConfig
 from repro.service.wal import WAL_EVENTS, WriteAheadLog
 
 __all__ = [
+    "ChaosPlan",
+    "ChaosReport",
     "Job",
     "JobQueue",
     "LeaseLostError",
     "QueueFullError",
+    "SnapshotError",
     "Supervisor",
     "SupervisorConfig",
+    "SupervisorKilled",
     "UnknownJobError",
     "WAL_EVENTS",
     "WriteAheadLog",
     "job_id_for",
+    "load_snapshot",
+    "normalize_chaos_spec",
     "normalize_job_spec",
+    "run_chaos_harness",
+    "write_snapshot",
 ]

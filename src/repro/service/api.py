@@ -17,7 +17,8 @@ Endpoints
 ``GET /jobs/{id}/result``
     The committed result: the durable summary (content hash, failed
     cells) plus the per-cell records from the job's result store.  ``409``
-    while the job is still pending/running.
+    while the job is still pending/running; ``410`` once the result was
+    garbage-collected by the TTL sweep (gone, not forthcoming).
 ``DELETE /jobs/{id}``
     Cancel a queued or running job.
 ``GET /healthz`` / ``GET /readyz``
@@ -124,14 +125,14 @@ class _Handler(BaseHTTPRequestHandler):
                 {"ready": ready, "draining": supervisor.draining, "accepting": accepting},
             )
         elif parts == ["jobs"]:
-            now = queue.clock()
+            now = queue.monotonic()
             self._send(
                 200, {"jobs": [job.as_status(now) for job in queue.jobs()]}
             )
         elif len(parts) == 2 and parts[0] == "jobs":
             job = self._job_or_404(parts[1])
             if job is not None:
-                status = job.as_status(queue.clock())
+                status = job.as_status(queue.monotonic())
                 status["has_result"] = supervisor.load_result(job.id) is not None
                 self._send(200, status)
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
@@ -143,6 +144,16 @@ class _Handler(BaseHTTPRequestHandler):
         queue, supervisor = self.server.queue, self.server.supervisor
         job = self._job_or_404(job_id)
         if job is None:
+            return
+        if job.collected:
+            self._send(
+                410,
+                {
+                    "error": f"job {job.id}'s result was garbage-collected",
+                    "state": job.state,
+                    "collected": True,
+                },
+            )
             return
         summary = supervisor.load_result(job.id)
         if job.state not in ("DONE", "FAILED") or summary is None:
@@ -156,7 +167,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         payload: dict[str, Any] = {"state": job.state, **summary}
         if not summary.get("failed"):
-            store = supervisor.store_for(job.id)
+            store = supervisor.result_store(job)
             keys = [cell.key for cell in enumerate_cells(job.spec["suite"])]
             payload["records"] = store.records(keys)
         self._send(200, payload)
@@ -178,7 +189,7 @@ class _Handler(BaseHTTPRequestHandler):
             except (InvalidInstanceError, ValueError, TypeError) as exc:
                 self._send(400, {"error": str(exc)})
                 return
-            status = job.as_status(queue.clock())
+            status = job.as_status(queue.monotonic())
             status["created"] = created
             self._send(202 if created else 200, status)
         elif parts == ["drain"]:
@@ -194,7 +205,7 @@ class _Handler(BaseHTTPRequestHandler):
             job = self._job_or_404(parts[1])
             if job is not None:
                 job = queue.cancel(job.id)
-                self._send(200, job.as_status(queue.clock()))
+                self._send(200, job.as_status(queue.monotonic()))
         else:
             self._send(404, {"error": f"no such endpoint: {self.path}"})
 

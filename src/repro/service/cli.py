@@ -17,6 +17,16 @@ Subcommands
     queue when no job id is given.
 ``drain``
     Ask a running service to drain and exit.
+``gc``
+    Collect expired DONE/FAILED result stores under a service root (the
+    serve loop also sweeps periodically when ``--gc-ttl`` is set).
+``compact``
+    Checkpoint a root's queue state to a snapshot and truncate its WAL.
+``chaos``
+    Run the seeded service-level chaos harness: a multi-supervisor fleet
+    under injected WAL faults, lease steals, clock jumps and supervisor
+    kills, verified bit-identical against a serial fault-free run.
+    Exits nonzero if any invariant is violated.
 """
 
 from __future__ import annotations
@@ -85,6 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--wave-delay", type=float, default=0.0,
                        help="pacing sleep before each campaign wave (timing "
                        "only, never touches records; used by crash tests)")
+    serve.add_argument("--node", default=None,
+                       help="this supervisor's name in a fleet sharing one "
+                       "root (default: node-<pid>)")
+    serve.add_argument("--compact-every", type=int, default=512,
+                       help="snapshot + truncate the WAL after this many log "
+                       "entries (0 disables; default 512)")
+    serve.add_argument("--gc-ttl", type=float, default=None,
+                       help="delete DONE/FAILED result stores older than this "
+                       "many seconds (default: never)")
+    serve.add_argument("--maintenance-interval", type=float, default=30.0,
+                       help="seconds between idle sweeps that re-deliver "
+                       "webhooks and run GC (default 30)")
+    serve.add_argument("--webhook-attempts", type=int, default=3,
+                       help="capped retries per completion webhook (default 3)")
+    serve.add_argument("--webhook-timeout", type=float, default=5.0,
+                       help="HTTP timeout per webhook POST (default 5)")
 
     for name, help_text in (
         ("submit", "submit a job to a running service"),
@@ -110,6 +136,51 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "status":
             command.add_argument("job", nargs="?", default=None,
                                  help="job id (omit to list the queue)")
+
+    gc = sub.add_parser("gc", help="collect expired result stores in a root")
+    gc.add_argument("--root", required=True, help="service state directory")
+    gc.add_argument("--ttl", type=float, required=True,
+                    help="collect DONE/FAILED results finished more than this "
+                    "many seconds ago")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="list what would be collected without deleting")
+
+    compact = sub.add_parser(
+        "compact", help="snapshot a root's queue state and truncate its WAL"
+    )
+    compact.add_argument("--root", required=True, help="service state directory")
+
+    chaos = sub.add_parser(
+        "chaos", help="run the service-level chaos harness (fleet vs. serial)"
+    )
+    chaos.add_argument("--root", required=True,
+                       help="scratch directory for the reference and fleet runs")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--jobs", type=int, default=3,
+                       help="number of tiny campaign jobs (default 3)")
+    chaos.add_argument("--supervisors", type=int, default=3,
+                       help="fleet size (default 3)")
+    chaos.add_argument("--torn-tail", type=float, default=0.0,
+                       help="per-seq probability of planting a torn WAL tail")
+    chaos.add_argument("--io-error", type=float, default=0.0,
+                       help="per-seq probability of a failed append (ENOSPC)")
+    chaos.add_argument("--kill", type=float, default=0.0,
+                       help="per-seq probability of a supervisor kill")
+    chaos.add_argument("--lease-steal", type=float, default=0.0,
+                       help="per-seq probability of forcing a lease steal")
+    chaos.add_argument("--clock-jump", type=float, default=0.0,
+                       help="per-seq probability of a wall-clock step")
+    chaos.add_argument("--horizon", type=int, default=48,
+                       help="WAL seq range eligible for fault draws; small "
+                            "workloads only reach a few dozen seqs, so keep "
+                            "this small to concentrate the schedule")
+    chaos.add_argument("--max-events", type=int, default=64,
+                       help="total injected faults across the run (default 64)")
+    chaos.add_argument("--lease-seconds", type=float, default=0.75)
+    chaos.add_argument("--timeout", type=float, default=120.0,
+                       help="fleet deadline before the healer takes over")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
     return parser
 
 
@@ -123,10 +194,12 @@ def _serve(args: argparse.Namespace) -> int:
         lease_seconds=args.lease_seconds,
         max_attempts=args.max_attempts,
         retry_after=args.retry_after,
+        compact_every=args.compact_every or None,
     )
     config = SupervisorConfig(
         jobs=args.jobs,
         workers=args.workers,
+        node=args.node,
         job_timeout=args.job_timeout,
         cell_retries=args.cell_retries,
         cell_timeout=args.cell_timeout,
@@ -137,6 +210,10 @@ def _serve(args: argparse.Namespace) -> int:
             seed=args.backoff_seed,
         ),
         wave_delay=args.wave_delay,
+        webhook_attempts=args.webhook_attempts,
+        webhook_timeout=args.webhook_timeout,
+        gc_ttl=args.gc_ttl,
+        maintenance_interval=args.maintenance_interval,
     )
     supervisor = Supervisor(queue, config=config)
     server = build_server(queue, supervisor, host=args.host, port=args.port)
@@ -286,6 +363,74 @@ def _drain(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# Root-local maintenance subcommands (no running service required)
+# ---------------------------------------------------------------------- #
+def _gc(args: argparse.Namespace) -> int:
+    queue = JobQueue(args.root)
+    supervisor = Supervisor(queue, config=SupervisorConfig(node="gc-cli"))
+    if args.dry_run:
+        candidates = [job.id for job in queue.collectable(args.ttl)]
+        for job_id in candidates:
+            print(f"would collect {job_id}")
+        print(f"{len(candidates)} result store(s) eligible (dry run)")
+        return 0
+    collected = supervisor.collect_garbage(args.ttl)
+    for job_id in collected:
+        print(f"collected {job_id}")
+    print(f"{len(collected)} result store(s) collected")
+    return 0
+
+
+def _compact(args: argparse.Namespace) -> int:
+    stats = JobQueue(args.root).compact()
+    print(
+        f"compacted: {stats['jobs']} job(s) snapshotted through "
+        f"seq {stats['last_seq']}; WAL truncated"
+    )
+    return 0
+
+
+def _chaos(args: argparse.Namespace) -> int:
+    from repro.service.chaos import run_chaos_harness, tiny_job_specs
+
+    report = run_chaos_harness(
+        args.root,
+        tiny_job_specs(args.jobs),
+        chaos={
+            "supervisors": args.supervisors,
+            "torn_tail": args.torn_tail,
+            "io_error": args.io_error,
+            "kill": args.kill,
+            "lease_steal": args.lease_steal,
+            "clock_jump": args.clock_jump,
+            "horizon": args.horizon,
+            "max_events": args.max_events,
+        },
+        seed=args.seed,
+        lease_seconds=args.lease_seconds,
+        timeout=args.timeout,
+    )
+    if args.json:
+        print(dumps_strict(
+            {**report.summary(), "fired": report.fired,
+             "job_hashes": report.job_hashes,
+             "reference_hashes": report.reference_hashes},
+            indent=2,
+        ))
+    else:
+        print(
+            f"chaos seed={report.seed}: {report.jobs} job(s), "
+            f"{report.supervisors} supervisor(s), "
+            f"{len(report.fired)} fault(s) fired, {report.restarts} restart(s)"
+        )
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}")
+        print("invariants held" if report.ok else
+              f"{len(report.violations)} invariant violation(s)")
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -295,6 +440,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _submit(args)
         if args.command == "status":
             return _status(args)
+        if args.command == "gc":
+            return _gc(args)
+        if args.command == "compact":
+            return _compact(args)
+        if args.command == "chaos":
+            return _chaos(args)
         return _drain(args)
     except BrokenPipeError:
         # The stdout consumer went away mid-print (e.g. `... | grep -q`).

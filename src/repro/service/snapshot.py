@@ -1,0 +1,113 @@
+"""WAL snapshots: checkpoint the folded queue state, truncate the log.
+
+The write-ahead log records every job lifecycle event forever, so a
+long-running service replays an ever-growing log on restart.  Compaction
+fixes that without giving up replay identity:
+
+1. The queue folds its WAL into in-memory state as usual and serializes
+   that state — every field the fold determines, plus the global WAL
+   sequence number (``last_seq``) and fencing counter (``fence``) — into
+   ``snapshot.json``, wrapped with a SHA-256 of the payload.
+2. The snapshot is written with :func:`repro.utils.jsonl.write_durable`
+   (same-directory temp file, fsync, atomic rename, directory fsync), so
+   at any crash point the file under the real name is either the old
+   snapshot or the new one, never a torn hybrid.
+3. Only after the snapshot is durable is the log truncated (atomically
+   replaced by an empty file).  Replay = snapshot + log tail; every WAL
+   entry carries its ``seq``, and entries with ``seq <= last_seq`` are
+   skipped on replay, so a crash *between* steps 2 and 3 — snapshot
+   written, log not yet truncated — cannot double-apply events.
+
+A snapshot whose embedded hash does not match its payload raises
+:class:`SnapshotError` instead of silently starting empty: after
+compaction the log alone no longer holds the full history, so a corrupt
+snapshot is an operator problem, not a recoverable one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.io import dumps_canonical, loads_strict
+from repro.utils.jsonl import write_durable
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "load_snapshot",
+    "snapshot_path",
+    "write_snapshot",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(RuntimeError):
+    """The snapshot file exists but is unreadable or fails its hash."""
+
+
+def snapshot_path(root: str | Path) -> Path:
+    return Path(root) / "snapshot.json"
+
+
+def _digest(payload: Mapping[str, Any]) -> str:
+    return hashlib.sha256(dumps_canonical(dict(payload)).encode()).hexdigest()
+
+
+def write_snapshot(
+    root: str | Path,
+    state: Mapping[str, Any],
+    *,
+    last_seq: int,
+    fence: int,
+) -> dict[str, Any]:
+    """Durably checkpoint the folded queue state; returns the document.
+
+    ``state`` maps job id → serialized job (the queue owns that shape);
+    ``last_seq`` is the WAL sequence number of the last folded event and
+    ``fence`` the global fencing-token high-water mark, so replay resumes
+    both counters exactly.
+    """
+    payload: dict[str, Any] = {
+        "version": SNAPSHOT_VERSION,
+        "last_seq": int(last_seq),
+        "fence": int(fence),
+        "state": {job_id: dict(job) for job_id, job in state.items()},
+    }
+    document = {"sha256": _digest(payload), "snapshot": payload}
+    write_durable(snapshot_path(root), dumps_canonical(document) + "\n")
+    return document
+
+
+def load_snapshot(root: str | Path) -> dict[str, Any] | None:
+    """The validated snapshot payload, or ``None`` when none exists.
+
+    Raises :class:`SnapshotError` on a payload that fails to parse, has
+    an unknown version, or whose content hash does not match — the log
+    was truncated against this snapshot, so guessing would lose state.
+    """
+    path = snapshot_path(root)
+    if not path.exists():
+        return None
+    try:
+        document = loads_strict(path.read_text())
+    except ValueError as exc:
+        raise SnapshotError(f"unreadable snapshot at {path}: {exc}") from exc
+    if not isinstance(document, Mapping):
+        raise SnapshotError(f"snapshot at {path} is not a JSON object")
+    payload = document.get("snapshot")
+    if not isinstance(payload, Mapping):
+        raise SnapshotError(f"snapshot at {path} is missing its payload")
+    if document.get("sha256") != _digest(payload):
+        raise SnapshotError(
+            f"snapshot at {path} fails its content hash; refusing to fold a "
+            "corrupt checkpoint (the WAL tail alone is not the full history)"
+        )
+    if payload.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot at {path} has version {payload.get('version')!r}; "
+            f"this build reads version {SNAPSHOT_VERSION}"
+        )
+    return dict(payload)

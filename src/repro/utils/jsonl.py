@@ -23,8 +23,14 @@ protocol, including its two crash-hardening details:
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator
+
+try:  # POSIX only; the service degrades to in-process locking without it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.io import loads_strict
 
@@ -32,6 +38,8 @@ __all__ = [
     "append_line",
     "fsync_dir",
     "iter_jsonl",
+    "locked_file",
+    "read_complete_lines",
     "repair_trailing",
     "write_durable",
 ]
@@ -125,6 +133,61 @@ def write_durable(path: Path, text: str) -> None:
         os.fsync(handle.fileno())
     os.replace(tmp, path)
     fsync_dir(path.parent)
+
+
+def read_complete_lines(path: Path, offset: int = 0) -> tuple[list[dict], int]:
+    """Parseable dict lines from byte ``offset``, plus the next offset.
+
+    Only *complete* (newline-terminated) lines are consumed: a torn tail —
+    a crash fragment or a line still being written — is left untouched and
+    the returned offset stops right before it, so a tail-following reader
+    picks the line up once it is finished (or repaired away).  Complete
+    but unparseable lines advance the offset and yield nothing, matching
+    :func:`iter_jsonl`.  A missing file reads as empty at offset 0.
+    """
+    if not path.exists():
+        return [], 0
+    with path.open("rb") as handle:
+        handle.seek(offset)
+        data = handle.read()
+    end = data.rfind(b"\n") + 1  # 0 when no complete line follows offset
+    entries: list[dict] = []
+    for raw in data[:end].splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            payload: Any = loads_strict(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue
+        if isinstance(payload, dict):
+            entries.append(payload)
+    return entries, offset + end
+
+
+@contextmanager
+def locked_file(path: Path) -> Iterator[int]:
+    """Hold an exclusive ``flock`` on ``path`` (created if missing).
+
+    ``flock`` contends between distinct file descriptors even inside one
+    process, so two :class:`~repro.service.queue.JobQueue` handles on the
+    same root exclude each other whether they live in one process (tests,
+    the chaos harness) or many (a real supervisor fleet).  On platforms
+    without ``fcntl`` the lock degrades to creation-only — single-process
+    use stays correct via the callers' thread locks.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(path), os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        yield fd
+    finally:
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
 
 def iter_jsonl(path: Path) -> Iterator[dict]:

@@ -166,7 +166,12 @@ class TestJobQueue:
     def _queue(self, tmp_path, **kwargs):
         clock = kwargs.pop("clock", FakeClock())
         kwargs.setdefault("lease_seconds", 30.0)
-        return JobQueue(tmp_path / "svc", clock=clock, **kwargs), clock
+        # One fake clock drives both time sources: the tests reason about
+        # lease arithmetic (monotonic) and timestamps (wall) together.
+        return (
+            JobQueue(tmp_path / "svc", clock=clock, monotonic=clock, **kwargs),
+            clock,
+        )
 
     def test_submit_is_idempotent(self, tmp_path):
         queue, _ = self._queue(tmp_path)
@@ -293,7 +298,7 @@ class TestJobQueue:
         expected = queue.state_snapshot()
 
         for _ in range(2):  # replay is deterministic, not just correct once
-            reopened = JobQueue(tmp_path / "svc", clock=clock)
+            reopened = JobQueue(tmp_path / "svc", clock=clock, monotonic=clock)
             assert reopened.state_snapshot() == expected
 
     def test_replay_survives_a_torn_tail(self, tmp_path):
@@ -303,7 +308,7 @@ class TestJobQueue:
         expected = queue.state_snapshot()
         with (tmp_path / "svc" / "wal.jsonl").open("a") as handle:
             handle.write('{"event": "DONE", "job": "' + job.id + '"')  # torn
-        reopened = JobQueue(tmp_path / "svc", clock=clock)
+        reopened = JobQueue(tmp_path / "svc", clock=clock, monotonic=clock)
         assert reopened.state_snapshot() == expected
         assert reopened.get(job.id).state == "RUNNING"
 
@@ -342,7 +347,9 @@ class TestSupervisor:
         run."""
         suite = _multiwave_suite()
         clock = FakeClock()
-        queue = JobQueue(tmp_path / "svc", lease_seconds=30.0, clock=clock)
+        queue = JobQueue(
+            tmp_path / "svc", lease_seconds=30.0, clock=clock, monotonic=clock
+        )
         job, _ = queue.submit({"suite": suite, "jobs": jobs})
 
         def stop_after_first_wave(seconds):
@@ -359,7 +366,7 @@ class TestSupervisor:
         interrupted = queue.get(job.id)
         assert interrupted.state == "RUNNING"  # the lease is still out
         assert crashing.load_result(job.id) is None
-        partial = crashing.store_for(job.id).completed()
+        partial = crashing.store_for(job.id, interrupted.fence).completed()
         assert partial, "the abort must land after at least one committed wave"
 
         clock.advance(31.0)  # the dead worker's lease expires
@@ -429,3 +436,256 @@ class TestSupervisor:
         keys = [cell.key for cell in enumerate_cells(result.suite)]
         summary = supervisor.load_result(job.id)
         assert summary["content_hash"] == reference.content_hash(keys)
+
+
+# ---------------------------------------------------------------------- #
+# Fenced leases
+# ---------------------------------------------------------------------- #
+class TestFencing:
+    def _queue(self, tmp_path, **kwargs):
+        clock = kwargs.pop("clock", FakeClock())
+        kwargs.setdefault("lease_seconds", 30.0)
+        return (
+            JobQueue(tmp_path / "svc", clock=clock, monotonic=clock, **kwargs),
+            clock,
+        )
+
+    def test_tokens_increase_monotonically_across_leases(self, tmp_path):
+        queue, clock = self._queue(tmp_path, max_attempts=10)
+        a, _ = queue.submit({"suite": _suite("a")})
+        b, _ = queue.submit({"suite": _suite("b")})
+        first_token = queue.lease("w0").fence
+        second_token = queue.lease("w1").fence
+        assert (first_token, second_token) == (1, 2)
+        clock.advance(31.0)  # both leases expire; re-leases get new tokens
+        assert {queue.lease("w2").fence, queue.lease("w3").fence} == {3, 4}
+
+    def test_stale_token_cannot_ack_over_the_thief(self, tmp_path):
+        """The fencing contract: once a job is re-leased, every call holding
+        the old token is rejected — complete, fail, and heartbeat alike."""
+        queue, clock = self._queue(tmp_path, max_attempts=10)
+        job, _ = queue.submit({"suite": _suite()})
+        # The queue hands out live Job objects; copy the token value now.
+        stale_token = queue.lease("w0").fence
+        clock.advance(31.0)
+        thief_token = queue.lease("w1").fence
+        assert thief_token == stale_token + 1
+        with pytest.raises(LeaseLostError, match="not held"):
+            queue.complete(job.id, "w0", token=stale_token)
+        # Same worker name re-leasing does not resurrect the old token.
+        clock.advance(31.0)
+        again_token = queue.lease("w0").fence
+        assert again_token == thief_token + 1
+        with pytest.raises(LeaseLostError, match="stale fencing token"):
+            queue.complete(job.id, "w0", token=stale_token)
+        with pytest.raises(LeaseLostError, match="stale fencing token"):
+            queue.heartbeat(job.id, "w0", token=stale_token)
+        with pytest.raises(LeaseLostError, match="stale fencing token"):
+            queue.report_failure(job.id, "w0", "late", token=stale_token)
+        # The current holder's token still works.
+        assert queue.complete(job.id, "w0", token=again_token).state == "DONE"
+
+    def test_fence_counter_survives_replay(self, tmp_path):
+        queue, clock = self._queue(tmp_path, max_attempts=10)
+        job, _ = queue.submit({"suite": _suite()})
+        queue.lease("w0")
+        clock.advance(31.0)
+        queue.lease("w1")
+        reopened = JobQueue(
+            tmp_path / "svc", clock=clock, monotonic=clock, lease_seconds=30.0
+        )
+        clock.advance(31.0)
+        assert reopened.lease("w2").fence == 3
+
+    def test_done_journals_the_content_hash(self, tmp_path):
+        queue, _ = self._queue(tmp_path)
+        job, _ = queue.submit({"suite": _suite()})
+        leased = queue.lease("w0")
+        queue.complete(job.id, "w0", token=leased.fence, content_hash="abc123")
+        done_events = [
+            e for e in queue.wal.events_for(job.id) if e["event"] == "DONE"
+        ]
+        assert done_events[0]["content_hash"] == "abc123"
+        assert done_events[0]["token"] == leased.fence
+
+
+# ---------------------------------------------------------------------- #
+# Monotonic lease timing (wall-clock jumps must be invisible)
+# ---------------------------------------------------------------------- #
+class TestClockJumps:
+    def _queue(self, tmp_path, **kwargs):
+        wall, mono = FakeClock(1_000_000.0), FakeClock(50.0)
+        kwargs.setdefault("lease_seconds", 30.0)
+        queue = JobQueue(
+            tmp_path / "svc", clock=wall, monotonic=mono, **kwargs
+        )
+        return queue, wall, mono
+
+    def test_backwards_wall_jump_cannot_revive_an_expired_lease(self, tmp_path):
+        """Regression for wall-clock lease timing: leases expire on monotonic
+        time, so stepping the wall clock back hours changes nothing."""
+        queue, wall, mono = self._queue(tmp_path, max_attempts=10)
+        job, _ = queue.submit({"suite": _suite()})
+        queue.lease("w0")
+        wall.advance(-36_000.0)  # operator steps the wall clock back 10h
+        mono.advance(31.0)  # ...but 31 real seconds pass
+        stolen = queue.lease("w1")
+        assert stolen is not None and stolen.id == job.id
+        with pytest.raises(LeaseLostError):
+            queue.heartbeat(job.id, "w0")
+
+    def test_forward_wall_jump_cannot_expire_a_live_lease(self, tmp_path):
+        queue, wall, mono = self._queue(tmp_path)
+        job, _ = queue.submit({"suite": _suite()})
+        queue.lease("w0")
+        wall.advance(36_000.0)  # NTP steps the wall clock forward 10h
+        mono.advance(1.0)  # ...one real second later
+        assert queue.lease("w1") is None  # the lease is still live
+        assert queue.heartbeat(job.id, "w0").state == "RUNNING"
+
+    def test_backwards_wall_jump_cannot_extend_retry_backoff(self, tmp_path):
+        queue, wall, mono = self._queue(tmp_path, max_attempts=10)
+        job, _ = queue.submit({"suite": _suite()})
+        queue.lease("w0")
+        queue.report_failure(job.id, "w0", "boom", delay=5.0)
+        wall.advance(-36_000.0)
+        assert queue.lease("w1") is None  # backoff holds (5 mono seconds)
+        mono.advance(5.0)
+        assert queue.lease("w1").id == job.id  # and releases on schedule
+
+    def test_reboot_epoch_reset_treats_far_deadlines_as_expired(self, tmp_path):
+        """After a reboot the monotonic epoch restarts near zero; persisted
+        deadlines may be absurdly far in the future.  They must read as
+        expired, not as unexpirable leases pinning jobs forever."""
+        queue, wall, mono = self._queue(tmp_path, max_attempts=10)
+        job, _ = queue.submit({"suite": _suite()})
+        queue.lease("w0")  # deadline = 50 + 30 = 80 on the old epoch
+        mono.now = 3.0  # "reboot": the epoch restarted
+        stolen = queue.lease("w1")  # 80 - 3 = 77 > lease_seconds -> expired
+        assert stolen is not None and stolen.id == job.id
+
+
+# ---------------------------------------------------------------------- #
+# Completion webhooks (at-least-once, WAL-journaled)
+# ---------------------------------------------------------------------- #
+class TestWebhooks:
+    def _served(self, tmp_path, post, **config_kwargs):
+        queue = JobQueue(tmp_path / "svc", lease_seconds=60.0)
+        config = SupervisorConfig(
+            backoff=BackoffPolicy(base=0.0, cap=0.0), **config_kwargs
+        )
+        return queue, Supervisor(queue, config=config, post=post, sleep=lambda s: None)
+
+    def test_webhook_url_is_delivery_detail_not_work(self):
+        with_hook = {"suite": _suite(), "webhook_url": "http://h/x"}
+        without = {"suite": _suite()}
+        assert job_id_for(with_hook) == job_id_for(without)
+        with pytest.raises(InvalidInstanceError, match="webhook_url"):
+            normalize_job_spec({"suite": _suite(), "webhook_url": "ftp://h"})
+
+    def test_completion_pushes_once_and_journals_it(self, tmp_path):
+        calls = []
+        queue, supervisor = self._served(
+            tmp_path, lambda url, payload: calls.append((url, dict(payload)))
+        )
+        job, _ = queue.submit({"suite": _suite(), "webhook_url": "http://h/done"})
+        supervisor.run_until_idle()
+        assert len(calls) == 1
+        url, payload = calls[0]
+        assert url == "http://h/done"
+        assert payload["job"] == job.id and payload["state"] == "DONE"
+        assert payload["content_hash"] == supervisor.load_result(job.id)["content_hash"]
+        assert queue.get(job.id).webhook_delivered is True
+        # The journal makes re-delivery a no-op, even from a fresh process.
+        assert supervisor.pump_webhooks() == 0
+        assert len(calls) == 1
+
+    def test_unconfirmed_delivery_is_resent_after_restart(self, tmp_path):
+        queue, supervisor = self._served(tmp_path, lambda url, payload: None)
+        job, _ = queue.submit({"suite": _suite(), "webhook_url": "http://h/done"})
+        leased = queue.lease("w0")
+        queue.complete(job.id, "w0", token=leased.fence)
+        # DONE was acked but no WEBHOOK_SENT journaled (crash before push):
+        # a restarted supervisor's sweep must deliver it.
+        calls = []
+        reopened = JobQueue(tmp_path / "svc", lease_seconds=60.0)
+        fresh = Supervisor(
+            reopened,
+            config=SupervisorConfig(backoff=BackoffPolicy(base=0.0, cap=0.0)),
+            post=lambda url, payload: calls.append(url),
+            sleep=lambda s: None,
+        )
+        assert fresh.pump_webhooks() == 1
+        assert calls == ["http://h/done"]
+        assert reopened.get(job.id).webhook_delivered is True
+
+    def test_capped_retries_then_journaled_give_up(self, tmp_path):
+        attempts = []
+
+        def failing_post(url, payload):
+            attempts.append(url)
+            raise ConnectionError("refused")
+
+        queue, supervisor = self._served(
+            tmp_path, failing_post, webhook_attempts=3
+        )
+        job, _ = queue.submit({"suite": _suite(), "webhook_url": "http://h/x"})
+        supervisor.run_until_idle()
+        assert len(attempts) == 3
+        failed = queue.get(job.id)
+        assert failed.state == "DONE"  # the job itself is unaffected
+        assert "ConnectionError" in failed.webhook_failed
+        # Given up for good: no re-delivery on later sweeps or restarts.
+        assert supervisor.pump_webhooks() == 0
+        assert len(attempts) == 3
+        assert queue.get(job.id).as_status()["webhook"]["failed"] is not None
+
+
+# ---------------------------------------------------------------------- #
+# Result TTL / garbage collection
+# ---------------------------------------------------------------------- #
+class TestResultGC:
+    def _served(self, tmp_path, wall, **config_kwargs):
+        queue = JobQueue(tmp_path / "svc", lease_seconds=60.0, clock=wall)
+        config = SupervisorConfig(backoff=BackoffPolicy(), **config_kwargs)
+        return queue, Supervisor(queue, config=config)
+
+    def test_gc_deletes_only_expired_terminal_results(self, tmp_path):
+        wall = FakeClock()
+        queue, supervisor = self._served(tmp_path, wall, gc_ttl=100.0)
+        old, _ = queue.submit({"suite": _suite("a")})
+        supervisor.run_until_idle()
+        wall.advance(150.0)
+        fresh_job, _ = queue.submit({"suite": _suite("b")})
+        supervisor.run_until_idle()
+        running, _ = queue.submit({"suite": _suite("c")})
+        queue.lease("w9")  # held, never collectable
+
+        collected = supervisor.collect_garbage()
+        assert collected == [old.id]
+        assert not (supervisor.results_root / old.id).exists()
+        assert (supervisor.results_root / fresh_job.id).exists()
+        assert queue.get(old.id).collected is True
+        assert queue.get(old.id).state == "DONE"  # GC never changes state
+        assert queue.get(running.id).collected is False
+
+    def test_gc_record_survives_restart_and_is_idempotent(self, tmp_path):
+        wall = FakeClock()
+        queue, supervisor = self._served(tmp_path, wall, gc_ttl=10.0)
+        job, _ = queue.submit({"suite": _suite()})
+        supervisor.run_until_idle()
+        wall.advance(20.0)
+        assert supervisor.collect_garbage() == [job.id]
+        # A restarted queue replays the GC record: nothing left to collect,
+        # and the collected flag is part of the durable state.
+        reopened = JobQueue(tmp_path / "svc", lease_seconds=60.0, clock=wall)
+        assert reopened.get(job.id).collected is True
+        assert reopened.collectable(10.0) == []
+        assert reopened.record_gc(job.id).collected is True  # idempotent
+
+    def test_gc_refuses_non_terminal_jobs(self, tmp_path):
+        wall = FakeClock()
+        queue, _supervisor = self._served(tmp_path, wall)
+        job, _ = queue.submit({"suite": _suite()})
+        with pytest.raises(ValueError, match="refusing to GC"):
+            queue.record_gc(job.id)

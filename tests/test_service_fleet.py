@@ -1,0 +1,134 @@
+"""Multi-supervisor fleet tests (in-process).
+
+Several :class:`JobQueue` handles share one root.  ``flock`` contends
+between file descriptors even inside one process, so these tests exercise
+the real cross-process transaction protocol — peer-tail following, fenced
+leases, and work distribution — without subprocess plumbing (that lives in
+``test_service_signals.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.scenarios.runner import run_campaign
+from repro.scenarios.specs import enumerate_cells
+from repro.scenarios.store import ResultStore
+from repro.service import JobQueue, Supervisor, SupervisorConfig, job_id_for
+from repro.utils.backoff import BackoffPolicy
+
+
+def _suite(name, cells=2):
+    return {
+        "name": name,
+        "seed": 11,
+        "topologies": [{"name": "g", "family": "grid", "rows": 3, "cols": 3}],
+        "regimes": [
+            {"name": f"r{i}", "capacity": 5.0 + i, "num_requests": 8}
+            for i in range(cells)
+        ],
+        "modes": [{"name": "off", "kind": "offline", "bound": "none"}],
+    }
+
+
+def _fleet(tmp_path, nodes, **queue_kwargs):
+    """N supervisors, each with its *own* queue handle on one root."""
+    queue_kwargs.setdefault("lease_seconds", 30.0)
+    members = []
+    for index in range(nodes):
+        queue = JobQueue(tmp_path / "svc", **queue_kwargs)
+        supervisor = Supervisor(
+            queue,
+            tmp_path / "svc" / "results",
+            config=SupervisorConfig(
+                node=f"node-{index}",
+                poll_interval=0.01,
+                backoff=BackoffPolicy(base=0.01, cap=0.05),
+            ),
+        )
+        members.append((queue, supervisor))
+    return members
+
+
+class TestFleet:
+    def test_fleet_splits_work_and_matches_serial_hashes(self, tmp_path):
+        suites = [_suite(f"fleet-{i}") for i in range(4)]
+        specs = [{"kind": "campaign", "suite": suite} for suite in suites]
+        members = _fleet(tmp_path, nodes=3)
+        intake = members[0][0]
+        for spec in specs:
+            intake.submit(spec)
+
+        def drive(supervisor):
+            while supervisor.run_until_idle():
+                pass
+
+        threads = [
+            threading.Thread(target=drive, args=(supervisor,))
+            for _queue, supervisor in members
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60.0)
+
+        workers = set()
+        for spec, suite in zip(specs, suites):
+            job = intake.get(job_id_for(spec))
+            assert job.state == "DONE"
+            assert job.attempts == 0  # no contention-driven retries
+            reference = ResultStore(tmp_path / "ref" / suite["name"])
+            result = run_campaign(suite, store=reference)
+            keys = [cell.key for cell in enumerate_cells(result.suite)]
+            summary = members[0][1].load_result(job.id)
+            assert summary["content_hash"] == reference.content_hash(keys)
+            done = [
+                e
+                for e in intake.wal.events_for(job.id)
+                if e["event"] == "DONE"
+            ]
+            assert len(done) == 1  # exactly one acknowledgement, fleet-wide
+            workers.add(done[0].get("token"))
+        # Tokens are globally unique across the fleet's acknowledgements.
+        assert len(workers) == len(specs)
+
+    def test_peer_handles_observe_each_others_writes(self, tmp_path):
+        first = JobQueue(tmp_path / "svc", lease_seconds=30.0)
+        second = JobQueue(tmp_path / "svc", lease_seconds=30.0)
+        job, _ = first.submit({"suite": _suite("shared")})
+        # The peer sees the submission, leases it, and the first handle
+        # sees that lease — all through the WAL, no shared memory.
+        leased = second.lease("peer/w0")
+        assert leased.id == job.id
+        view = first.get(job.id)
+        assert view.state == "RUNNING"
+        assert view.worker == "peer/w0"
+        assert view.fence == leased.fence
+        second.complete(job.id, "peer/w0", token=leased.fence)
+        assert first.get(job.id).state == "DONE"
+
+    def test_concurrent_leasing_never_double_assigns(self, tmp_path):
+        handles = [JobQueue(tmp_path / "svc", lease_seconds=30.0) for _ in range(4)]
+        for index in range(8):
+            handles[0].submit({"suite": _suite(f"c{index}", cells=1)})
+        grabbed: list[str] = []
+        lock = threading.Lock()
+
+        def grab(queue, worker):
+            while True:
+                job = queue.lease(worker)
+                if job is None:
+                    return
+                with lock:
+                    grabbed.append(job.id)
+
+        threads = [
+            threading.Thread(target=grab, args=(queue, f"n{i}/w"))
+            for i, queue in enumerate(handles)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert len(grabbed) == 8
+        assert len(set(grabbed)) == 8  # every job leased exactly once

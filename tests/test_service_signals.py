@@ -204,3 +204,56 @@ class TestSigkill:
         assert proc.returncode == 0
         assert result["content_hash"] == _reference_hash(tmp_path, jobs)
         assert result["failed_cells"] == []
+
+
+class TestFleetSteal:
+    def test_surviving_supervisor_steals_from_a_killed_peer(self, tmp_path):
+        """Two real supervisor processes share one root.  The one holding
+        the job is SIGKILLed mid-campaign; the survivor reclaims the lease
+        (with a fresh fencing token), resumes from the committed attempt
+        records, and lands the bit-identical content hash."""
+        root = tmp_path / "svc"
+        proc_a, client_a = _start_serve(
+            root, "--node", "A", "--jobs", "1",
+            "--wave-delay", "0.8", "--lease-seconds", "2",
+        )
+        proc_b = client_b = None
+        result = None
+        try:
+            proc_b, client_b = _start_serve(
+                root, "--node", "B", "--jobs", "1",
+                "--wave-delay", "0.8", "--lease-seconds", "2",
+            )
+            job = client_a.submit({"suite": _suite(), "jobs": 1})["job"]
+            status = _wait_for_state(client_a, job, "RUNNING")
+            holder = status["worker"]
+            assert holder.split("/")[0] in ("A", "B")
+            first_token = status["fence"]
+            time.sleep(0.5)  # well inside the paced first attempt
+
+            victim, survivor_client = (
+                (proc_a, client_b) if holder.startswith("A/") else (proc_b, client_a)
+            )
+            _kill_group(victim)
+            victim.wait(timeout=30)
+
+            final = survivor_client.wait(job, timeout=120.0, poll=0.1)
+            assert final["state"] == "DONE"
+            assert final["attempts"] == 1  # the stolen lease was counted
+            result = survivor_client.result(job)
+        finally:
+            for proc in (proc_a, proc_b):
+                if proc is not None and proc.poll() is None:
+                    _kill_group(proc)
+
+        assert result["content_hash"] == _reference_hash(tmp_path, 1)
+        assert result["failed_cells"] == []
+        # The WAL tells the whole story: the survivor's DONE carries a
+        # fencing token newer than the killed holder's lease.
+        queue = JobQueue(root)
+        events = queue.wal.events_for(job)
+        done = [e for e in events if e["event"] == "DONE"]
+        assert len(done) == 1
+        assert done[0]["token"] > first_token
+        final_worker = queue.get(job).fence
+        assert final_worker == done[0]["token"]

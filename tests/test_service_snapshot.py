@@ -1,0 +1,171 @@
+"""WAL snapshot + compaction tests.
+
+The contract under test: ``compact()`` checkpoints the folded queue state
+to a content-hashed snapshot and truncates the log, and **replay =
+snapshot + tail** reconstructs bit-identical state at any crash point —
+including the window where the snapshot is written but the log is not yet
+truncated (entries folded into the snapshot must not double-apply).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import JobQueue, SnapshotError, load_snapshot
+from repro.service.snapshot import snapshot_path
+
+
+def _suite(name="snap-tiny"):
+    return {
+        "name": name,
+        "seed": 11,
+        "topologies": [{"name": "g", "family": "grid", "rows": 3, "cols": 3}],
+        "regimes": [{"name": "r", "capacity": 6.0, "num_requests": 8}],
+        "modes": [{"name": "off", "kind": "offline", "bound": "none"}],
+    }
+
+
+class FakeClock:
+    def __init__(self, start=1_000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _busy_queue(tmp_path, **kwargs):
+    clock = FakeClock()
+    queue = JobQueue(
+        tmp_path / "svc",
+        clock=clock,
+        monotonic=clock,
+        lease_seconds=30.0,
+        max_attempts=5,
+        **kwargs,
+    )
+    done, _ = queue.submit({"suite": _suite("a")})
+    flaky, _ = queue.submit({"suite": _suite("b")})
+    running, _ = queue.submit({"suite": _suite("c")})
+    queue.lease("w0")
+    queue.complete(done.id, "w0")
+    queue.lease("w1")
+    queue.report_failure(flaky.id, "w1", "boom", delay=5.0)
+    queue.lease("w2")  # c -> RUNNING, lease outstanding
+    return queue, clock
+
+
+class TestCompaction:
+    def test_compact_truncates_the_log_and_preserves_state(self, tmp_path):
+        queue, clock = _busy_queue(tmp_path)
+        expected = queue.state_snapshot()
+        before = (tmp_path / "svc" / "wal.jsonl").stat().st_size
+        stats = queue.compact()
+        assert stats["jobs"] == 3
+        assert (tmp_path / "svc" / "wal.jsonl").stat().st_size == 0 < before
+        assert snapshot_path(tmp_path / "svc").exists()
+        # The live handle and a fresh replay both see identical state.
+        assert queue.state_snapshot() == expected
+        reopened = JobQueue(
+            tmp_path / "svc", clock=clock, monotonic=clock, lease_seconds=30.0
+        )
+        assert reopened.state_snapshot() == expected
+
+    def test_replay_is_snapshot_plus_tail(self, tmp_path):
+        queue, clock = _busy_queue(tmp_path)
+        queue.compact()
+        # Post-compaction activity lands in the (fresh) tail.
+        extra, _ = queue.submit({"suite": _suite("d")})
+        queue.lease("w3")
+        expected = queue.state_snapshot()
+        reopened = JobQueue(
+            tmp_path / "svc", clock=clock, monotonic=clock, lease_seconds=30.0
+        )
+        assert reopened.state_snapshot() == expected
+        assert reopened.get(extra.id).state == "RUNNING"
+
+    def test_crash_between_snapshot_and_truncate_does_not_double_apply(
+        self, tmp_path
+    ):
+        """The crash window: snapshot durable, log still holding the very
+        entries the snapshot folded.  Replay must skip them by ``seq``."""
+        queue, clock = _busy_queue(tmp_path)
+        expected = queue.state_snapshot()
+        wal_path = tmp_path / "svc" / "wal.jsonl"
+        log_bytes = wal_path.read_bytes()
+        queue.compact()
+        wal_path.write_bytes(log_bytes)  # resurrect the un-truncated log
+        reopened = JobQueue(
+            tmp_path / "svc", clock=clock, monotonic=clock, lease_seconds=30.0
+        )
+        assert reopened.state_snapshot() == expected
+        # Counters resumed exactly: the next lease's token is fresh, and
+        # attempts were not double-counted by the replayed duplicates.
+        clock.advance(31.0)
+        assert reopened.lease("w9") is not None
+
+    def test_auto_compaction_kicks_in_by_entry_count(self, tmp_path):
+        clock = FakeClock()
+        queue = JobQueue(
+            tmp_path / "svc",
+            clock=clock,
+            monotonic=clock,
+            lease_seconds=30.0,
+            compact_every=5,
+        )
+        for index in range(4):
+            queue.submit({"suite": _suite(f"s{index}")})
+        assert not snapshot_path(tmp_path / "svc").exists()
+        queue.submit({"suite": _suite("s4")})  # 5th entry triggers it
+        assert snapshot_path(tmp_path / "svc").exists()
+        assert (tmp_path / "svc" / "wal.jsonl").stat().st_size == 0
+        reopened = JobQueue(
+            tmp_path / "svc", clock=clock, monotonic=clock, lease_seconds=30.0
+        )
+        assert len(reopened.jobs()) == 5
+
+    def test_peer_handle_detects_compaction_under_it(self, tmp_path):
+        """Two handles on one root: one compacts, the other's next
+        transaction must notice the truncated log and reload from the
+        snapshot instead of trusting its stale byte cursor."""
+        clock = FakeClock()
+        first = JobQueue(
+            tmp_path / "svc", clock=clock, monotonic=clock, lease_seconds=30.0
+        )
+        second = JobQueue(
+            tmp_path / "svc", clock=clock, monotonic=clock, lease_seconds=30.0
+        )
+        job, _ = first.submit({"suite": _suite("a")})
+        assert second.get(job.id).state == "QUEUED"  # cursor is warm
+        first.lease("w0")
+        first.complete(job.id, "w0")
+        first.compact()
+        b, _ = first.submit({"suite": _suite("b")})
+        assert second.get(job.id).state == "DONE"
+        assert second.get(b.id).state == "QUEUED"
+        assert second.state_snapshot() == first.state_snapshot()
+
+
+class TestSnapshotIntegrity:
+    def test_corrupt_snapshot_refuses_to_load(self, tmp_path):
+        queue, clock = _busy_queue(tmp_path)
+        queue.compact()
+        path = snapshot_path(tmp_path / "svc")
+        text = path.read_text().replace('"DONE"', '"GONE"', 1)
+        path.write_text(text)
+        with pytest.raises(SnapshotError, match="content hash"):
+            load_snapshot(tmp_path / "svc")
+        with pytest.raises(SnapshotError):
+            JobQueue(tmp_path / "svc", clock=clock, monotonic=clock)
+
+    def test_unparseable_snapshot_refuses_to_load(self, tmp_path):
+        queue, _clock = _busy_queue(tmp_path)
+        queue.compact()
+        snapshot_path(tmp_path / "svc").write_text("{torn")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            load_snapshot(tmp_path / "svc")
+
+    def test_missing_snapshot_is_fine(self, tmp_path):
+        assert load_snapshot(tmp_path) is None
