@@ -19,6 +19,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.kernels import get_kernel
+
 __all__ = ["DualWeights"]
 
 
@@ -180,11 +182,12 @@ class DualWeights:
             ids = np.unique(np.asarray(edge_ids, dtype=np.int64))
         if ids.size == 0:
             return
-        caps = self._capacities[ids]
-        old = self._y[ids]
-        new = old * np.exp(self._epsilon * self._B * float(demand) / caps)
-        self._y[ids] = new
-        delta = float(caps @ (new - old))
+        # The multiplicative update itself is kernel-dispatched: every tier
+        # returns the bit-exact budget increment of the reference arithmetic
+        # (see repro.kernels), so the stopping rule is tier-invariant.
+        delta = get_kernel().dual_update(
+            self._y, self._capacities, ids, self._epsilon, self._B, float(demand)
+        )
         self._budget += delta
         self._updates += 1
         self._last_delta = delta

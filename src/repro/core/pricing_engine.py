@@ -89,7 +89,8 @@ import numpy as np
 
 from repro.core.dual_state import DualWeights
 from repro.graphs.graph import CapacitatedGraph
-from repro.graphs.shortest_path import dijkstra_lists, get_backend
+from repro.graphs.shortest_path import get_backend
+from repro.kernels import get_kernel
 
 __all__ = [
     "PathPricingEngine",
@@ -207,13 +208,27 @@ class PricingStats:
     eager_equivalent_calls: int = 0
     memo_misses: int = 0
     memo_evictions: int = 0
+    #: Compute-kernel dispatch accounting (see :mod:`repro.kernels`):
+    #: ``kernel_name`` is the tier this engine resolved at construction;
+    #: ``kernel_calls`` counts kernel-shaped work units — shortest-path
+    #: trees computed, dual updates applied, bundle-score sweeps — and is
+    #: *tier- and backend-invariant* (the scipy backend's batched trees
+    #: count one call per tree, exactly like ``dijkstra_calls``), so bench
+    #: regressions are attributable without perturbing any pinned output.
+    kernel_name: str = "lists"
+    kernel_calls: int = 0
 
     @property
     def dijkstra_calls_saved(self) -> int:
         return max(0, self.eager_equivalent_calls - self.dijkstra_calls)
 
     def as_extra(self, prefix: str = "pricing_") -> dict[str, float]:
-        """Flatten into :class:`~repro.types.RunStats`-style ``extra`` keys."""
+        """Flatten into :class:`~repro.types.RunStats`-style ``extra`` keys.
+
+        Numeric-only by contract (scenario records coerce every value with
+        ``float``); the kernel *name* travels separately, via the solvers'
+        ``extra["kernel_name"]`` and the report header, never through here.
+        """
         return {
             f"{prefix}dijkstra_calls": float(self.dijkstra_calls),
             f"{prefix}tree_reuses": float(self.tree_reuses),
@@ -224,6 +239,7 @@ class PricingStats:
             f"{prefix}dijkstra_calls_saved": float(self.dijkstra_calls_saved),
             f"{prefix}memo_misses": float(self.memo_misses),
             f"{prefix}memo_evictions": float(self.memo_evictions),
+            f"{prefix}kernel_calls": float(self.kernel_calls),
         }
 
 
@@ -251,7 +267,14 @@ class _PricedTree:
     to the corresponding :class:`ShortestPathResult`.
     """
 
-    __slots__ = ("source", "dist", "parent_vertex", "parent_edge", "edge_set")
+    __slots__ = (
+        "source",
+        "dist",
+        "parent_vertex",
+        "parent_edge",
+        "edge_set",
+        "edge_mask",
+    )
 
     def __init__(
         self,
@@ -267,6 +290,10 @@ class _PricedTree:
         used = set(parent_edge)
         used.discard(-1)
         self.edge_set = frozenset(used)
+        # Bitmask form of edge_set, filled lazily by the numpy kernel's
+        # invalidation index (and then shared: trees are immutable, so the
+        # mask is valid for the tree's whole lifetime, memo included).
+        self.edge_mask: int | None = None
 
     def path_to(self, target: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
         vertices = [target]
@@ -354,7 +381,9 @@ class PathPricingEngine:
         self._duals = duals
         self._weights = duals.weights if duals is not None else weights
         self._n = graph.num_vertices
-        self._csr = graph.csr_lists()
+        # The compute kernel is resolved once per engine (construction time)
+        # so one run never mixes tiers; all tiers are bit-identical anyway.
+        self._kernel = get_kernel()
         # weights.tolist() / weights.tobytes() memoized between weight
         # updates (cleared by invalidate_path); tree computations and memo
         # lookups within one iteration share them.
@@ -380,7 +409,7 @@ class PathPricingEngine:
         self._index_tie_break = bool(index_tie_break)
         self._remove_selected = bool(remove_selected)
         self._score = score if score is not None else _default_score
-        self.stats = PricingStats()
+        self.stats = PricingStats(kernel_name=self._kernel.name)
 
         n = len(self._requests)
         self._selected = bytearray(n)
@@ -392,8 +421,9 @@ class PathPricingEngine:
         # source -> tree; all registered trees are exact under the current
         # weights.
         self._trees: dict[int, _PricedTree] = {}
-        # edge id -> set of sources whose cached tree uses that edge.
-        self._edge_sources: dict[int, set[int]] = {}
+        # Kernel-provided invalidation index: which cached trees use which
+        # edges (edge-sets under lists, bitmasks under numpy/numba).
+        self._index = self._kernel.make_invalidation_index()
         # Bumped whenever a source's tree is evicted; heap entries carry the
         # epoch their score was computed at, so staleness is an int compare.
         self._source_epoch: dict[int, int] = {}
@@ -443,8 +473,7 @@ class PathPricingEngine:
 
     def _register_tree(self, source: int, tree: _PricedTree) -> None:
         self._trees[source] = tree
-        for e in tree.edge_set:
-            self._edge_sources.setdefault(e, set()).add(source)
+        self._index.register(source, tree)
 
     def _memo_get(self, source: int) -> tuple[tuple | None, _PricedTree | None]:
         """Tree-memo lookup: ``(key, tree)``; ``key`` is ``None`` when the
@@ -479,11 +508,11 @@ class PathPricingEngine:
         if tree is not None:
             self.stats.warm_start_hits += 1
             return tree
-        indptr, heads, eids = self._csr
-        dist, pv, pe = dijkstra_lists(
-            self._n, indptr, heads, eids, self._weights_list(), source
-        )
+        kernel = self._kernel
+        wl = self._weights_list() if kernel.wants_weights_list else None
+        dist, pv, pe = kernel.dijkstra(self._graph, self._weights, wl, source)
         self.stats.dijkstra_calls += 1
+        self.stats.kernel_calls += 1
         tree = _PricedTree(source, dist, pv, pe)
         self._memo_put(key, tree)
         return tree
@@ -514,20 +543,23 @@ class PathPricingEngine:
         if missing:
             srcs = [source for source, _ in missing]
             backend = get_backend()
+            kernel = self._kernel
             if backend.supports_batch and len(srcs) > 1:
                 raw = backend.trees(
                     self._graph, srcs, self._weights,
                     weights_list=self._weights_list(),
                 )
             else:
-                indptr, heads, eids = self._csr
-                wl = self._weights_list()
+                wl = self._weights_list() if kernel.wants_weights_list else None
                 raw = [
-                    dijkstra_lists(self._n, indptr, heads, eids, wl, s)
+                    kernel.dijkstra(self._graph, self._weights, wl, s)
                     for s in srcs
                 ]
             for (source, key), (dist, pv, pe) in zip(missing, raw):
+                # kernel_calls counts per *tree* in both branches so the
+                # counter is backend-invariant (like dijkstra_calls).
                 self.stats.dijkstra_calls += 1
+                self.stats.kernel_calls += 1
                 tree = _PricedTree(source, dist, pv, pe)
                 self._memo_put(key, tree)
                 self._register_tree(source, tree)
@@ -544,19 +576,8 @@ class PathPricingEngine:
         return tree
 
     def _invalidate_edges(self, edge_ids: Sequence[int]) -> None:
-        hit: set[int] = set()
-        for e in edge_ids:
-            sources = self._edge_sources.get(e)
-            if sources:
-                hit.update(sources)
-        for source in hit:
-            tree = self._trees.pop(source)
-            for e in tree.edge_set:
-                owners = self._edge_sources.get(e)
-                if owners is not None:
-                    owners.discard(source)
-                    if not owners:
-                        del self._edge_sources[e]
+        for source in self._index.invalidate(edge_ids):
+            del self._trees[source]
             self._source_epoch[source] = self._source_epoch.get(source, 0) + 1
             self.stats.trees_invalidated += 1
 
@@ -788,6 +809,7 @@ class PathPricingEngine:
         # bit-identical to the reference.
         ids = np.asarray(sorted(selection.edge_ids), dtype=np.int64)
         self._duals.apply_selection(ids, req.demand, assume_unique=True)
+        self.stats.kernel_calls += 1
         self.invalidate_path(selection)
 
     def requeue(self, selection: Selection) -> None:
@@ -895,7 +917,6 @@ class PathPricingEngine:
                 "rebind_substrate requires the same vertex and edge-id space"
             )
         self._graph = graph
-        self._csr = graph.csr_lists()
         self._duals = duals
         self._weights = duals.weights
         self._w_list = None
@@ -908,7 +929,7 @@ class PathPricingEngine:
                 _INITIAL_TREE_MEMO_KEY, {}
             )
         self._trees = {}
-        self._edge_sources = {}
+        self._index = self._kernel.make_invalidation_index()
         for source in list(self._source_epoch):
             self._source_epoch[source] += 1
         by_source: dict[int, list[int]] = {}
@@ -953,9 +974,9 @@ class PathPricingEngine:
             pending=self._pending,
             source_live=tuple(self._source_live.items()),
             trees=tuple(self._trees.items()),
-            edge_sources=tuple(
-                (e, frozenset(s)) for e, s in self._edge_sources.items()
-            ),
+            # Tagged, kernel-agnostic payload: either index flavor restores
+            # from either snapshot (replays may cross kernel tiers).
+            edge_sources=self._index.snapshot(),
             source_epoch=tuple(self._source_epoch.items()),
         )
 
@@ -985,7 +1006,8 @@ class PathPricingEngine:
         self._pending = checkpoint.pending
         self._source_live = dict(checkpoint.source_live)
         self._trees = dict(checkpoint.trees)
-        self._edge_sources = {e: set(s) for e, s in checkpoint.edge_sources}
+        self._index = self._kernel.make_invalidation_index()
+        self._index.restore(checkpoint.edge_sources)
         self._source_epoch = dict(checkpoint.source_epoch)
         self._w_list = None
         self._w_bytes = None
@@ -1032,6 +1054,7 @@ class PathPricingEngine:
         """
         req = self._requests[index]
         self._duals.apply_selection(sorted_edge_ids, req.demand, assume_unique=True)
+        self.stats.kernel_calls += 1
         self._w_list = None
         self._w_bytes = None
         self._invalidate_edges(edge_ids)
@@ -1158,7 +1181,8 @@ class BundlePricingEngine:
         # ordering keys only, never fold inputs.
         self._dirty = bytearray(b"\x01") * n
         self._pending = n
-        self.stats = PricingStats()
+        self._kernel = get_kernel()
+        self.stats = PricingStats(kernel_name=self._kernel.name)
 
         item_to_bids: dict[int, list[int]] = {}
         for i, bundle in enumerate(self._bundles):
@@ -1171,17 +1195,19 @@ class BundlePricingEngine:
             sizes = np.array([b.size for b in self._bundles], dtype=np.int64)
             starts = np.zeros(n, dtype=np.int64)
             np.cumsum(sizes[:-1], out=starts[1:])
-            prices = np.add.reduceat(duals.weights[flat], starts)
+            # Kernel-dispatched CSR sweep (np.add.reduceat in every tier).
             # reduceat sums sequentially while the reference ndarray.sum is
             # pairwise, so for large bundles the two can differ by a few ulps
             # in either direction.  Heap keys must be true lower bounds of
-            # the reference scores; shaving a relative 1e-9 (orders of
-            # magnitude above the worst-case summation error, which is
-            # bounded by ~bundle_size * 2^-52 relative) guarantees it, at
+            # the reference scores; the kernel shaves a relative 1e-9 (orders
+            # of magnitude above the worst-case summation error, which is
+            # bounded by ~bundle_size * 2^-52 relative) to guarantee it, at
             # the cost of at most one extra heap pop per bid.
-            scores = (prices / np.asarray(self._values, dtype=np.float64)) * (
-                1.0 - 1e-9
+            scores = self._kernel.bundle_scores(
+                duals.weights, flat, starts,
+                np.asarray(self._values, dtype=np.float64),
             )
+            self.stats.kernel_calls += 1
             self._heap = [(float(scores[i]), i) for i in range(n)]
             heapq.heapify(self._heap)
         else:
@@ -1293,6 +1319,7 @@ class BundlePricingEngine:
         The dual arithmetic is bit-identical either way (same bundle id
         array, same order)."""
         self._duals.apply_selection(self._bundles[index], 1.0, assume_unique=True)
+        self.stats.kernel_calls += 1
         self._selected[index] = 1
         self._pending -= 1
         for u in self._bundles[index].tolist():

@@ -58,6 +58,14 @@ def build_parser() -> argparse.ArgumentParser:
         "including inside --jobs worker processes",
     )
     run_parser.add_argument(
+        "--kernel",
+        default=None,
+        help="compute kernel for this run ('lists', 'numpy', 'numba'); an "
+        "explicit choice always beats an inherited REPRO_KERNEL env var, "
+        "including inside --jobs worker processes; all kernels are "
+        "bit-identical",
+    )
+    run_parser.add_argument(
         "--no-trace",
         action="store_true",
         help="answer payment/audit probe runs from scratch instead of by "
@@ -93,6 +101,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.graphs.shortest_path import set_backend_from_cli
 
         set_backend_from_cli(args.backend, parser)
+
+    if getattr(args, "kernel", None):
+        from repro.kernels import set_kernel_from_cli
+
+        set_kernel_from_cli(args.kernel, parser)
 
     quick = not args.full
     use_trace = not args.no_trace

@@ -238,11 +238,20 @@ class ListsBackend:
         weights_list: list[float] | None = None,
     ) -> list[tuple[list[float], list[int], list[int]]]:
         """Full shortest-path trees ``(dist, parent_vertex, parent_edge)``
-        as raw lists, one per source, in ``sources`` order."""
-        indptr, heads, eids = graph.csr_lists()
-        w = weights_list if weights_list is not None else weights.tolist()
-        n = graph.num_vertices
-        return [dijkstra_lists(n, indptr, heads, eids, w, s) for s in sources]
+        as raw lists, one per source, in ``sources`` order.
+
+        Per-tree computation dispatches through the active compute kernel
+        (:mod:`repro.kernels`), so ``REPRO_KERNEL=numba`` accelerates this
+        backend too; every kernel tier is bit-identical to the lists loop.
+        """
+        from repro.kernels import get_kernel
+
+        kernel = get_kernel()
+        if kernel.wants_weights_list and weights_list is None:
+            weights_list = weights.tolist()
+        return [
+            kernel.dijkstra(graph, weights, weights_list, s) for s in sources
+        ]
 
 
 class ScipyBackend:
@@ -493,10 +502,11 @@ def single_source_dijkstra(
     weights = _validate_weights(graph, weights)
 
     if targets is not None:
-        indptr, adj_heads, adj_edge_ids = graph.csr_lists()
+        from repro.kernels import get_kernel
+
         remaining = set(int(t) for t in targets)
-        dist, parent_vertex, parent_edge = dijkstra_lists(
-            n, indptr, adj_heads, adj_edge_ids, weights.tolist(), source, remaining
+        dist, parent_vertex, parent_edge = get_kernel().dijkstra(
+            graph, weights, None, source, remaining
         )
     else:
         dist, parent_vertex, parent_edge = get_backend().trees(

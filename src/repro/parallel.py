@@ -204,14 +204,18 @@ def _fork_child_init() -> None:
 
 
 def _spawn_child_init(
-    fn: Callable[..., Any], payload: Any, backend_name: str | None
+    fn: Callable[..., Any],
+    payload: Any,
+    backend_name: str | None,
+    kernel_name: str | None = None,
 ) -> None:
     """Initializer for spawn/forkserver workers: install the pickled state.
 
-    The parent's resolved shortest-path backend is installed explicitly so
-    an inherited ``REPRO_SP_BACKEND`` environment variable can never
-    override a backend the caller selected programmatically (fork workers
-    inherit the resolved backend object and need no such step)."""
+    The parent's resolved shortest-path backend and compute kernel are
+    installed explicitly so inherited ``REPRO_SP_BACKEND`` /
+    ``REPRO_KERNEL`` environment variables can never override selections
+    the caller made programmatically (fork workers inherit the resolved
+    objects and need no such step)."""
     global _WORKER_FN, _WORKER_PAYLOAD, _IN_WORKER
     _WORKER_FN = fn
     _WORKER_PAYLOAD = payload
@@ -221,6 +225,13 @@ def _spawn_child_init(
 
         try:
             shortest_path.set_backend(backend_name)
+        except (KeyError, ImportError):
+            pass
+    if kernel_name is not None:  # pragma: no cover - non-fork platforms only
+        import repro.kernels as kernels
+
+        try:
+            kernels.set_kernel(kernel_name)
         except (KeyError, ImportError):
             pass
 
@@ -330,15 +341,18 @@ def pmap(
             )
             return pmap(fn, tasks, jobs=1, payload=payload)
 
-    # Resolve the shortest-path backend in the parent before any worker
-    # exists: fork children then inherit the parent's (possibly explicit)
-    # choice instead of each re-resolving REPRO_SP_BACKEND, and spawn
-    # children are handed the resolved name.  Explicit `set_backend()` /
-    # `--backend` selections therefore always beat inherited env vars
-    # inside workers.
+    # Resolve the shortest-path backend and the compute kernel in the
+    # parent before any worker exists: fork children then inherit the
+    # parent's (possibly explicit) choices instead of each re-resolving
+    # REPRO_SP_BACKEND / REPRO_KERNEL, and spawn children are handed the
+    # resolved names.  Explicit `set_backend()` / `set_kernel()` /
+    # `--backend` / `--kernel` selections therefore always beat inherited
+    # env vars inside workers.
     from repro.graphs.shortest_path import get_backend
+    from repro.kernels import get_kernel
 
     backend_name = get_backend().name
+    kernel_name = get_kernel().name
 
     prev_fn, prev_payload = _WORKER_FN, _WORKER_PAYLOAD
     _WORKER_FN, _WORKER_PAYLOAD = fn, payload
@@ -354,7 +368,7 @@ def pmap(
                 max_workers=jobs,
                 mp_context=context,
                 initializer=_spawn_child_init,
-                initargs=(fn, payload, backend_name),
+                initargs=(fn, payload, backend_name, kernel_name),
             )
         if on_error != "capture":
             with executor:
@@ -381,7 +395,9 @@ def pmap(
                     by_chunk[index] = [_capture(exc) for _ in chunks[index]]
         for index in broken:
             by_chunk[index] = [
-                _run_task_isolated(task, use_fork, fn, payload, backend_name)
+                _run_task_isolated(
+                    task, use_fork, fn, payload, backend_name, kernel_name
+                )
                 for task in chunks[index]
             ]
         return [result for chunk in by_chunk for result in chunk]
@@ -395,6 +411,7 @@ def _run_task_isolated(
     fn: Callable[..., Any],
     payload: Any,
     backend_name: str | None,
+    kernel_name: str | None = None,
 ) -> Any:
     """Run one task in a fresh single-worker pool (capture-mode crash retry).
 
@@ -415,7 +432,7 @@ def _run_task_isolated(
             max_workers=1,
             mp_context=context,
             initializer=_spawn_child_init,
-            initargs=(fn, payload, backend_name),
+            initargs=(fn, payload, backend_name, kernel_name),
         )
     try:
         with executor:

@@ -80,7 +80,7 @@ from repro.graphs.partition import (
     build_border_quotient,
     single_region_partition,
 )
-from repro.graphs.shortest_path import dijkstra_lists
+from repro.kernels import get_kernel
 from repro.partition.shards import RegionShard, build_shards
 from repro.types import RunStats
 
@@ -299,7 +299,15 @@ class _LiveRegion:
     trees used for cross-request pricing, invalidated whenever the
     region's weights change."""
 
-    __slots__ = ("shard", "duals", "engine", "_w_list", "_trees", "sp_calls")
+    __slots__ = (
+        "shard",
+        "duals",
+        "engine",
+        "_kernel",
+        "_w_list",
+        "_trees",
+        "sp_calls",
+    )
 
     def __init__(
         self, shard: RegionShard, epsilon: float, capacity_bound: float
@@ -322,6 +330,7 @@ class _LiveRegion:
             )
         else:
             self.engine = None
+        self._kernel = get_kernel()
         self._w_list: list[float] | None = None
         self._trees: dict[int, tuple] = {}
         self.sp_calls = 0
@@ -335,12 +344,11 @@ class _LiveRegion:
         under the region's current dual weights (cached until invalidated)."""
         tree = self._trees.get(local_source)
         if tree is None:
-            if self._w_list is None:
+            kernel = self._kernel
+            if kernel.wants_weights_list and self._w_list is None:
                 self._w_list = self.duals.weights.tolist()
-            graph = self.shard.graph
-            indptr, heads, eids = graph.csr_lists()
-            tree = dijkstra_lists(
-                graph.num_vertices, indptr, heads, eids, self._w_list, local_source
+            tree = kernel.dijkstra(
+                self.shard.graph, self.duals.weights, self._w_list, local_source
             )
             self._trees[local_source] = tree
             self.sp_calls += 1

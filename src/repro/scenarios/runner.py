@@ -286,6 +286,11 @@ def _offline_metrics(
         "admission_rate": allocation.num_selected / max(1, instance.num_requests),
         "stopped_by_budget": bool(allocation.stats.stopped_by_budget),
         "iterations": int(allocation.stats.iterations),
+        # Kernel-invariant dispatch count (never the kernel *name*: records
+        # feed the store content hash, which must not change across tiers).
+        "kernel_calls": float(
+            allocation.stats.extra.get("pricing_kernel_calls", 0.0)
+        ),
     }
     bound = _lp_bound(instance, mode)
     if bound is not None:
@@ -401,6 +406,7 @@ def _online_metrics(
         "batches": int(online.num_batches),
         "sp_calls": int(online.stats.shortest_path_calls),
         "tree_reuses": float(online.stats.extra.get("pricing_tree_reuses", 0.0)),
+        "kernel_calls": float(online.stats.extra.get("pricing_kernel_calls", 0.0)),
     }
     if mode.get("payments"):
         values = online.instance.values_array()

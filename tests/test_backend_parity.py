@@ -1,21 +1,26 @@
-"""Backend parity: the scipy shortest-path backend vs the lists kernel.
+"""Parity matrix: compute kernels × shortest-path backends vs the reference.
 
-The contract of :mod:`repro.graphs.shortest_path`'s backend registry is that
-the ``"scipy"`` backend is **bit-identical** to the default ``"lists"``
-kernel — distances, parents, and therefore every allocation downstream.
-This suite replays the differential-fuzz corpus (the same pinned-seed
-instance distribution as ``test_differential_fuzz``) once per backend and
-compares the two runs exactly.  Instances are rebuilt from the seed for each
-backend so the per-graph tree memo of one run cannot mask divergence in the
-other.
+Two process-global registries can change *how* the hot loops run without
+being allowed to change a single output bit: the shortest-path backend
+registry of :mod:`repro.graphs.shortest_path` (``lists`` / ``scipy``) and
+the compute-kernel registry of :mod:`repro.kernels` (``lists`` / ``numpy``
+/ ``numba``).  This suite replays the differential-fuzz corpus (the same
+pinned-seed instance distribution as ``test_differential_fuzz``) once per
+(backend, kernel) combination and compares every run exactly against the
+memoized ``(lists, lists)`` reference.  Instances are rebuilt from the
+seed for each combination so the per-graph tree memo of one run cannot
+mask divergence in another.
+
+Combinations whose optional dependency is missing are skipped with a
+reason (scipy rows without scipy, numba rows without numba) — the *silent
+env fallback* path for a missing numba is covered separately in
+``test_env_precedence.py``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-
-pytest.importorskip("scipy", reason="the scipy backend needs scipy")
 
 from test_differential_fuzz import (  # noqa: E402  (corpus shared with the fuzz suite)
     DIJKSTRA_SEEDS,
@@ -35,34 +40,85 @@ from repro.graphs.shortest_path import (  # noqa: E402
     single_source_dijkstra,
     use_backend,
 )
+from repro.kernels import kernel_available, use_kernel  # noqa: E402
 from repro.online import Batch, OnlineAuction  # noqa: E402
 from repro.utils.prng import ensure_rng  # noqa: E402
 
 pytestmark = pytest.mark.fuzz
 
+_HAVE_SCIPY = True
+try:
+    import scipy  # noqa: F401
+except ImportError:
+    _HAVE_SCIPY = False
+_HAVE_NUMBA = kernel_available("numba")
 
-def _run_both(make_instance, solve):
-    """Run ``solve`` on freshly-built instances under each backend."""
-    with use_backend("lists"):
-        expected = solve(make_instance())
-    with use_backend("scipy"):
+
+def _combo_params():
+    """Every non-reference (backend, kernel) combination, each skipped with
+    a reason when its optional dependency is absent."""
+    params = []
+    for backend in ("lists", "scipy"):
+        for kernel in ("lists", "numpy", "numba"):
+            if (backend, kernel) == ("lists", "lists"):
+                continue  # the reference itself
+            marks = []
+            if backend == "scipy" and not _HAVE_SCIPY:
+                marks.append(
+                    pytest.mark.skip(reason="the scipy backend needs scipy")
+                )
+            if kernel == "numba" and not _HAVE_NUMBA:
+                marks.append(
+                    pytest.mark.skip(
+                        reason="the numba kernel needs numba (env resolution "
+                        "would fall back to numpy, covered elsewhere)"
+                    )
+                )
+            params.append(
+                pytest.param((backend, kernel), id=f"{backend}-{kernel}", marks=marks)
+            )
+    return params
+
+
+COMBOS = _combo_params()
+
+
+# One memoized reference result per (family, seed): the reference run is
+# shared by every combination of that seed instead of recomputed five times
+# (seeds are the outer parametrize, so a seed's combos run back to back).
+_REFERENCE_CACHE: dict = {}
+
+
+def _run_combo(family, seed, combo, make_instance, solve):
+    backend, kernel = combo
+    key = (family, seed)
+    expected = _REFERENCE_CACHE.get(key)
+    if expected is None:
+        with use_backend("lists"), use_kernel("lists"):
+            expected = _REFERENCE_CACHE[key] = solve(make_instance())
+    with use_backend(backend), use_kernel(kernel):
         actual = solve(make_instance())
     return actual, expected
 
 
+@pytest.mark.parametrize("combo", COMBOS)
 @pytest.mark.parametrize("seed", UFP_SEEDS)
-def test_bounded_ufp_backend_parity(seed):
+def test_bounded_ufp_parity(seed, combo):
     epsilon = [0.3, 0.5, 1.0][seed % 3]
-    actual, expected = _run_both(
-        lambda: _ufp_instance(seed), lambda inst: bounded_ufp(inst, epsilon)
+    actual, expected = _run_combo(
+        "ufp", seed, combo,
+        lambda: _ufp_instance(seed),
+        lambda inst: bounded_ufp(inst, epsilon),
     )
     _assert_same_allocation(actual, expected)
 
 
+@pytest.mark.parametrize("combo", COMBOS)
 @pytest.mark.parametrize("seed", REPEAT_SEEDS)
-def test_bounded_ufp_repeat_backend_parity(seed):
+def test_bounded_ufp_repeat_parity(seed, combo):
     epsilon = [0.5, 1.0][seed % 2]
-    actual, expected = _run_both(
+    actual, expected = _run_combo(
+        "repeat", seed, combo,
         lambda: _ufp_instance(seed, max_requests=10),
         lambda inst: bounded_ufp_repeat(inst, epsilon),
     )
@@ -90,20 +146,26 @@ def _muca_auction(seed):
     )
 
 
+@pytest.mark.parametrize("combo", COMBOS)
 @pytest.mark.parametrize("seed", MUCA_SEEDS)
-def test_bounded_muca_backend_parity(seed):
-    # MUCA never touches the graph backend (bundle sums, not paths), so this
-    # guards that flipping the backend cannot perturb the auction either.
+def test_bounded_muca_parity(seed, combo):
+    # MUCA never touches the graph backend (bundle sums, not paths), but it
+    # does run the kernel's bundle-scoring sweep and dual updates; either
+    # registry flipping must leave the auction untouched.
     epsilon = [0.3, 0.5, 1.0][seed % 3]
-    actual, expected = _run_both(
-        lambda: _muca_auction(seed), lambda auction: bounded_muca(auction, epsilon)
+    actual, expected = _run_combo(
+        "muca", seed, combo,
+        lambda: _muca_auction(seed),
+        lambda auction: bounded_muca(auction, epsilon),
     )
     assert actual.winners == expected.winners
     assert actual.value == expected.value
 
 
+@pytest.mark.parametrize("combo", COMBOS)
 @pytest.mark.parametrize("seed", DIJKSTRA_SEEDS)
-def test_dijkstra_backend_parity(seed):
+def test_dijkstra_parity(seed, combo):
+    backend, kernel = combo
     rng = ensure_rng(seed)
     num_vertices = int(rng.integers(4, 20))
     build = random_digraph if seed % 2 else random_graph
@@ -116,9 +178,9 @@ def test_dijkstra_backend_parity(seed):
     )
     weights = rng.uniform(1e-6, 10.0, size=graph.num_edges)
     source = int(rng.integers(0, num_vertices))
-    with use_backend("lists"):
+    with use_backend("lists"), use_kernel("lists"):
         expected = single_source_dijkstra(graph, source, weights)
-    with use_backend("scipy"):
+    with use_backend(backend), use_kernel(kernel):
         actual = single_source_dijkstra(graph, source, weights)
         batch = multi_source_dijkstra(graph, range(num_vertices), weights)
     for result in [actual, batch[source]]:
@@ -127,13 +189,16 @@ def test_dijkstra_backend_parity(seed):
         np.testing.assert_array_equal(result.parent_edge, expected.parent_edge)
 
 
+@pytest.mark.parametrize("combo", COMBOS)
 @pytest.mark.parametrize("seed", ONLINE_SEEDS)
-def test_online_stream_backend_parity(seed):
+def test_online_stream_parity(seed, combo):
     epsilon = [0.3, 0.5, 1.0][seed % 3]
 
     def solve(instance):
         auction = OnlineAuction(instance.graph, epsilon)
         return auction.run(iter([Batch(time=0.0, requests=instance.requests)]))
 
-    actual, expected = _run_both(lambda: _ufp_instance(seed), solve)
+    actual, expected = _run_combo(
+        "online", seed, combo, lambda: _ufp_instance(seed), solve
+    )
     _assert_same_allocation(actual, expected)
